@@ -1,0 +1,47 @@
+"""Raw simulator performance (not a paper artifact).
+
+Tracks the event-processing throughput of the substrate so fidelity work
+does not silently regress the ability to run 128-rank experiments.
+"""
+
+from repro.cluster.launch import block_placement, launch_mpi_job
+from repro.cluster.machines import make_chiba
+from repro.sim.engine import Engine
+from repro.sim.units import MSEC
+from repro.workloads.lu import LuParams, lu_app
+
+SPEED_LU = LuParams(niters=4, iter_compute_ns=20 * MSEC, halo_bytes=16_384,
+                    sweep_msg_bytes=4_096, inorm=2)
+
+
+def test_engine_raw_event_throughput(benchmark):
+    def churn():
+        engine = Engine()
+        count = 50_000
+
+        def reschedule():
+            nonlocal count
+            count -= 1
+            if count > 0:
+                engine.schedule(10, reschedule)
+
+        engine.schedule(1, reschedule)
+        engine.run_until_idle()
+        return engine.events_processed
+
+    events = benchmark(churn)
+    assert events == 50_000
+
+
+def test_lu_16rank_simulation_speed(benchmark):
+    def run():
+        cluster = make_chiba(nnodes=16, seed=2)
+        job = launch_mpi_job(cluster, 16, lu_app(SPEED_LU),
+                             placement=block_placement(1, 16))
+        job.run(limit_s=600)
+        events = cluster.engine.events_processed
+        cluster.teardown()
+        return events
+
+    events = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert events > 3_000

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""I/O-node performance evaluation (the §6 / ZeptoOS BG/L direction).
+
+Compute nodes funnel their writes through one I/O node's ciod daemons;
+as the client count grows, KTAU's integrated view on the I/O node shows
+where the time goes — network receive processing, the block-I/O submit
+path, and (dominantly) waiting on the shared disk.
+
+Run:  python examples/ionode_io.py
+"""
+
+from repro.experiments.ionode import render, run_ionode, scaling_sweep
+from repro.workloads.ionode import IoNodeParams
+from repro.sim.units import MSEC
+
+
+def main() -> None:
+    params = IoNodeParams(nrequests=16, request_bytes=65_536,
+                          think_ns=4 * MSEC, fsync_every=8)
+
+    print("sweeping 1 -> 8 clients through one I/O node ...\n")
+    results = scaling_sweep((1, 2, 4, 8), params)
+    print(render(results))
+
+    print("per-client latency growth:")
+    base = results[0].mean_latency_ms()
+    for r in results:
+        bar = "#" * int(r.mean_latency_ms())
+        print(f"  {r.nclients} clients: {r.mean_latency_ms():6.2f} ms "
+              f"({r.mean_latency_ms()/base:4.1f}x)  {bar}")
+
+    last = results[-1]
+    print(f"\nI/O node at 8 clients: {last.disk_requests} disk requests, "
+          f"{last.disk_bytes / 1e6:.1f} MB written")
+    print("ciod kernel-time breakdown (KTAU groups):")
+    for group, seconds in sorted(last.ciod_groups.items(),
+                                 key=lambda kv: -kv[1]):
+        print(f"  {group:<10} {seconds:8.4f} s")
+    print("\nthe 'sched' wait dominates: ciod tasks sleep on the network "
+          "and the disk — the\nintegrated view separates that wait from "
+          "the actual receive/submit work, which is\nexactly what the "
+          "BG/L I/O-node evaluation needs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""OS-noise amplification — the problem that motivates KTAU.
+
+The paper opens with OS effects on application performance, citing the
+"missing supercomputer performance" line of work [12, 21]: per-node OS
+interference that costs a few percent locally is *amplified* by
+collective synchronisation as machines scale, because every step waits
+for whichever rank the noise hit.
+
+This example reproduces the amplification curve on the simulated
+substrate — fixed per-node noise, growing global slowdown — and then
+uses KTAU's integrated views to attribute it the way §5 does: the noise
+lands as involuntary scheduling on the struck ranks and shows up as
+voluntary waiting everywhere else.
+
+Run:  python examples/noise_amplification.py
+"""
+
+import numpy as np
+
+from repro.experiments.noise import NoiseParams, amplification_sweep, render
+from repro.sim.units import MSEC
+
+
+def main() -> None:
+    params = NoiseParams(steps=60, quantum_ns=2 * MSEC,
+                         noise_period_ns=40 * MSEC, noise_burst_ns=2 * MSEC)
+    duty = 100 * params.noise_burst_ns / (params.noise_period_ns
+                                          + params.noise_burst_ns)
+    print(f"per-node noise: one {params.noise_burst_ns/1e6:.0f} ms burst "
+          f"every {params.noise_period_ns/1e6:.0f} ms (~{duty:.0f}% duty), "
+          f"random phase per node\n")
+
+    results = amplification_sweep((4, 16, 64), params)
+    print(render(results))
+
+    print("amplification: the same local noise costs "
+          f"{results[0].slowdown_pct:.1f}% at {results[0].nranks} nodes but "
+          f"{results[-1].slowdown_pct:.1f}% at {results[-1].nranks} nodes.\n")
+
+    data = results[-1].data_noisy
+    inv = np.array([r.involuntary_sched_s() for r in data.ranks])
+    vol = np.array([r.voluntary_sched_s() for r in data.ranks])
+    print("KTAU's attribution at 64 nodes:")
+    print(f"  involuntary scheduling (the noise hits):  med "
+          f"{np.median(inv)*1e3:.2f} ms, max {inv.max()*1e3:.2f} ms per rank")
+    print(f"  voluntary scheduling (waiting at sync):   med "
+          f"{np.median(vol)*1e3:.1f} ms per rank")
+    print("\nthe direct damage is milliseconds per rank; the waits it "
+          "induces are 100x that —\nexactly the indirect OS influence the "
+          "paper builds KTAU to expose.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""A compact perturbation study (§5.3 / Tables 3 and 4).
+
+How much does KTAU's measurement itself cost?  Run the same LU job under
+five instrumentation configurations — vanilla kernel, compiled-but-
+disabled, fully enabled, scheduler-only, and fully enabled plus
+user-level TAU — and compare execution times.  Then sample the direct
+per-operation costs behind the perturbation (Table 4).
+
+Run:  python examples/perturbation_study.py      (~1 min)
+"""
+
+from repro.experiments import table3, table4
+
+
+def main() -> None:
+    print("running 5 configurations x 2 seeds of 16-rank LU ...\n")
+    rows = table3.build(nranks=16, seeds=(1, 2))
+    print(table3.render(rows))
+    by = {r.config: r for r in rows}
+    print("headlines (paper's findings in parentheses):")
+    print(f"  Ktau Off:    {by['Ktau Off'].pct_avg_slow:5.2f}% "
+          "(no statistically significant slowdown)")
+    print(f"  ProfAll:     {by['ProfAll'].pct_avg_slow:5.2f}% (~2.3%)")
+    print(f"  ProfSched:   {by['ProfSched'].pct_avg_slow:5.2f}% (~0.07%)")
+    print(f"  ProfAll+Tau: {by['ProfAll+Tau'].pct_avg_slow:5.2f}% (~2.8%)")
+    print("\nconclusion (paper §6): compile the instrumentation in, leave "
+          "it in,\nand control it at runtime — disabled instrumentation is "
+          "effectively free.\n")
+
+    print(table4.render(table4.build()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so ``pip install -e .``
+cannot perform a PEP 660 editable build; ``python setup.py develop`` (which
+pip falls back to through this shim) installs the same editable package.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

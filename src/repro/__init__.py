@@ -1,0 +1,40 @@
+"""KTAU reproduction package.
+
+This package reproduces, on a simulated Linux-kernel/cluster substrate, the
+system described in "Kernel-Level Measurement for Integrated Parallel
+Performance Views: the KTAU Project" (Nataraj, Malony, Shende, Morris;
+CLUSTER 2006).
+
+Subpackages
+-----------
+sim
+    Discrete-event simulation engine (virtual clock, event queue,
+    deterministic RNG streams).
+kernel
+    Simulated Linux kernel: tasks, scheduler, interrupts, softirqs,
+    system calls, TCP/socket networking, procfs.
+core
+    KTAU itself: instrumentation primitives, the per-task measurement
+    system, trace buffers, the /proc/ktau interface, libKtau, and clients
+    (KTAUD, runKtau, self-profiling).
+tau
+    The user-level TAU-like measurement layer and user/kernel merge logic.
+cluster
+    Nodes, Ethernet network model, an MPI-like message layer implemented
+    over the simulated kernel's sockets, machine factories, daemons.
+workloads
+    NPB-LU-like SSOR, Sweep3D wavefront, LMBENCH-style micro-benchmarks,
+    and the paper's artificial interference process.
+analysis
+    Profile/trace loading, kernel-wide / process-centric / merged views,
+    CDFs, histograms, ASCII rendering.
+experiments
+    One harness per table/figure of the paper's evaluation section.
+"""
+
+__version__ = "1.0.0"
+
+from repro.sim.engine import Engine
+from repro.sim.rng import RngHub
+
+__all__ = ["Engine", "RngHub", "__version__"]

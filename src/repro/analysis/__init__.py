@@ -1,0 +1,19 @@
+"""Analysis and presentation of KTAU/TAU performance data.
+
+This is the layer the TAU tool family (ParaProf, Vampir, Jumpshot)
+provides in the real system: loading profiles, building kernel-wide /
+process-centric / merged views, distribution summaries (CDFs,
+histograms), merged trace timelines, and text rendering.
+"""
+
+from repro.analysis.profiles import JobData, RankData, harvest_job
+from repro.analysis.cdf import cdf_points
+from repro.analysis.histogram import histogram
+from repro.analysis.stats import kernel_event_stats, user_event_stats
+from repro.analysis.callgraph import build_merged_callgraph
+from repro.analysis.tracestats import cross_validate, reduce_trace
+from repro.analysis.compensate import compensate
+
+__all__ = ["JobData", "RankData", "harvest_job", "cdf_points", "histogram",
+           "kernel_event_stats", "user_event_stats", "build_merged_callgraph",
+           "cross_validate", "reduce_trace", "compensate"]

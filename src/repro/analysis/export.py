@@ -1,0 +1,103 @@
+"""Trace export for external viewers.
+
+The real KTAU leans on TAU's converters to feed Vampir and Jumpshot.
+The portable modern equivalent is the Chrome trace-event format
+(``chrome://tracing`` / Perfetto): this module exports merged
+user/kernel timelines to it, one "thread" per process with user and
+kernel events nested by timestamp, so reproduced traces can be inspected
+interactively.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analysis.tracemerge import MergedEvent
+
+
+def to_chrome_trace(events_by_process: dict[str, tuple[list[MergedEvent], float]],
+                    *, pid: int = 1) -> str:
+    """Serialise merged timelines to a Chrome trace-event JSON string.
+
+    ``events_by_process`` maps a display name (e.g. ``"rank0@ccn000"``)
+    to ``(merged events, node hz)``.  Entry/exit pairs become ``B``/``E``
+    duration events; atomic records become instant (``i``) events with
+    their value as an argument.  Timestamps are microseconds from each
+    process's first event (Chrome tracing needs a shared epoch only per
+    thread).
+    """
+    records: list[dict] = []
+    for tid, (name, (events, hz)) in enumerate(sorted(events_by_process.items())):
+        records.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": name},
+        })
+        if not events:
+            continue
+        t0 = events[0].cycles
+        stack: list[str] = []
+        last_ts = 0.0
+        for event in events:
+            ts_us = (event.cycles - t0) / hz * 1e6
+            last_ts = ts_us
+            category = event.layer
+            if event.layer == "kernel" and not event.is_entry and event.value:
+                records.append({"name": event.name, "ph": "i", "s": "t",
+                                "pid": pid, "tid": tid, "ts": ts_us,
+                                "cat": category,
+                                "args": {"value": event.value}})
+                continue
+            if event.is_entry:
+                stack.append(event.name)
+            else:
+                # Circular trace buffers can lose a region's entry record;
+                # drop orphaned exits rather than mis-nest the viewer.
+                if not stack or stack[-1] != event.name:
+                    continue
+                stack.pop()
+            records.append({"name": event.name,
+                            "ph": "B" if event.is_entry else "E",
+                            "pid": pid, "tid": tid, "ts": ts_us,
+                            "cat": category})
+        # Close regions still open when the trace ends.
+        while stack:
+            records.append({"name": stack.pop(), "ph": "E", "pid": pid,
+                            "tid": tid, "ts": last_ts, "cat": "truncated"})
+    return json.dumps({"traceEvents": records, "displayTimeUnit": "ms"})
+
+
+def validate_chrome_trace(payload: str) -> tuple[int, int]:
+    """Sanity-check an exported trace; returns (#duration pairs, #instants).
+
+    Verifies B/E balance per thread (viewers silently mis-render
+    unbalanced traces) and monotonic timestamps per thread.
+    """
+    doc = json.loads(payload)
+    per_thread_stack: dict[int, list[str]] = {}
+    per_thread_last_ts: dict[int, float] = {}
+    pairs = 0
+    instants = 0
+    for record in doc["traceEvents"]:
+        if record["ph"] == "M":
+            continue
+        tid = record["tid"]
+        ts = record["ts"]
+        if ts < per_thread_last_ts.get(tid, 0.0) - 1e-9:
+            raise ValueError(f"timestamps not monotonic on tid {tid}")
+        per_thread_last_ts[tid] = ts
+        if record["ph"] == "B":
+            per_thread_stack.setdefault(tid, []).append(record["name"])
+        elif record["ph"] == "E":
+            stack = per_thread_stack.get(tid, [])
+            if not stack or stack[-1] != record["name"]:
+                raise ValueError(
+                    f"unbalanced E for {record['name']!r} on tid {tid}")
+            stack.pop()
+            pairs += 1
+        elif record["ph"] == "i":
+            instants += 1
+    for tid, stack in per_thread_stack.items():
+        if stack:
+            raise ValueError(f"unclosed events on tid {tid}: {stack}")
+    return pairs, instants

@@ -1,0 +1,37 @@
+"""Histograms over per-rank metrics (Figure 3's presentation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def histogram(values, bins: int = 20) -> tuple[np.ndarray, np.ndarray]:
+    """Counts and bin edges over ``values`` (numpy semantics)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return np.empty(0, dtype=int), np.empty(0)
+    counts, edges = np.histogram(arr, bins=bins)
+    return counts, edges
+
+
+def outlier_ranks(values, k: float = 3.0, side: str = "low") -> list[int]:
+    """Indices whose value deviates more than ``k`` robust sigmas from the
+    median — how one finds "the left-most two outliers (ranks 61 and 125)"
+    in Figure 3 programmatically.
+
+    ``side`` selects ``"low"``, ``"high"``, or ``"both"`` deviations.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return []
+    med = np.median(arr)
+    mad = np.median(np.abs(arr - med))
+    scale = 1.4826 * mad if mad > 0 else (np.std(arr) or 1.0)
+    dev = (arr - med) / scale
+    if side == "low":
+        mask = dev < -k
+    elif side == "high":
+        mask = dev > k
+    else:
+        mask = np.abs(dev) > k
+    return [int(i) for i in np.nonzero(mask)[0]]

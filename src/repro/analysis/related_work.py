@@ -1,0 +1,63 @@
+"""Table 1: classification of kernel-only and combined user/kernel tools.
+
+The paper's Table 1 is a taxonomy, not a measurement; it is reproduced as
+data plus a renderer so the benchmark suite covers every table, and so the
+comparison axes (instrumentation style, measurement type, combined
+user/kernel support, parallel awareness, SMP, OS) are available
+programmatically for the documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ToolRow:
+    tool: str
+    instrumentation: str
+    measurement: str
+    combined_user_kernel: str
+    parallel: str
+    smp: str
+    os: str
+
+
+#: The rows of Table 1, verbatim from the paper.
+TABLE1: tuple[ToolRow, ...] = (
+    ToolRow("KernInst", "dynamic", "flexible", "not explicit", "not explicit", "yes", "Solaris"),
+    ToolRow("DTrace", "dynamic", "flexible", "trap into OS", "not explicit", "yes", "Solaris"),
+    ToolRow("LTT", "source", "trace", "not explicit", "not explicit", "yes", "Linux"),
+    ToolRow("K42", "source", "trace", "partial", "not explicit", "yes", "K42"),
+    ToolRow("KLogger", "source", "trace", "not explicit", "not explicit", "yes", "Linux"),
+    ToolRow("OProfile", "N/A", "flat profile", "partial", "not explicit", "yes", "Linux"),
+    ToolRow("KernProf", "gcc (callgraph)", "flat/callgraph profile", "not explicit", "not explicit", "yes", "Linux"),
+    ToolRow("SharmaEtAl", "source", "trace", "syscall only", "not explicit", "no", "Linux"),
+    ToolRow("CrossWalk", "dynamic", "flexible", "syscall only", "not explicit", "yes", "Solaris"),
+    ToolRow("DeBox", "source", "profile/trace", "syscall only", "not explicit", "yes", "Linux"),
+    ToolRow("KTAU+TAU", "source", "profile/trace", "full", "explicit", "yes", "Linux"),
+)
+
+HEADERS = ("Tool", "Instrumentation", "Measurement", "Combined User/Kernel",
+           "Parallel", "SMP", "OS")
+
+
+def render_table1() -> str:
+    """The paper's Table 1 as a text table."""
+    from repro.analysis.render import ascii_table
+
+    rows = [(r.tool, r.instrumentation, r.measurement, r.combined_user_kernel,
+             r.parallel, r.smp, r.os) for r in TABLE1]
+    return ascii_table(HEADERS, rows,
+                       title="Table 1: Kernel-Only and Combined User/Kernel "
+                             "Performance Analysis Tools")
+
+
+def tools_with_full_merge() -> list[str]:
+    """Tools offering combined user/kernel data beyond syscalls."""
+    return [r.tool for r in TABLE1 if r.combined_user_kernel == "full"]
+
+
+def tools_with_explicit_parallel_support() -> list[str]:
+    """Tools with explicit parallel-performance support."""
+    return [r.tool for r in TABLE1 if r.parallel == "explicit"]

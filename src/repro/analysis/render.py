@@ -1,0 +1,63 @@
+"""Text rendering helpers (the terminal stand-in for ParaProf displays)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def ascii_bargraph(rows: Iterable[tuple[str, float]], width: int = 50,
+                   unit: str = "s", title: str = "") -> str:
+    """Labelled horizontal bars scaled to the maximum value."""
+    rows = list(rows)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    if not rows:
+        return "\n".join(lines + ["(no data)"]) + "\n"
+    peak = max(v for _l, v in rows) or 1.0
+    label_w = max(len(label) for label, _v in rows)
+    for label, value in rows:
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"{label:<{label_w}} |{bar:<{width}}| {value:.4f}{unit}")
+    return "\n".join(lines) + "\n"
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence], *,
+                floatfmt: str = ".2f", title: str = "") -> str:
+    """A padded text table."""
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return format(cell, floatfmt)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines) + "\n"
+
+
+def cdf_sparkline(xs, fracs, buckets: int = 20) -> str:
+    """A compact text sketch of a CDF (for bench output)."""
+    if len(xs) == 0:
+        return "(empty)"
+    import numpy as np
+
+    lo, hi = float(xs[0]), float(xs[-1])
+    if hi <= lo:
+        return "| all ranks at {:.3g} |".format(lo)
+    marks = []
+    for b in range(buckets):
+        x = lo + (hi - lo) * (b + 1) / buckets
+        frac = float(np.searchsorted(xs, x, side="right")) / len(xs)
+        marks.append(" .:-=+*#%@"[min(9, int(frac * 9.999))])
+    return f"[{lo:.3g} {''.join(marks)} {hi:.3g}]"

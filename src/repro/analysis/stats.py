@@ -1,0 +1,102 @@
+"""Cross-rank derived statistics (ParaProf's mean/min/max/stddev view).
+
+ParaProf derives per-event statistics across all ranks of a parallel
+profile — the first thing one looks at to spot imbalance.  This module
+computes the same summaries over harvested job data, for both the
+user-level (TAU) and kernel-level (KTAU) profiles, and renders them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.profiles import JobData
+
+
+@dataclass(frozen=True)
+class EventStats:
+    """Cross-rank summary of one event."""
+
+    name: str
+    layer: str  # "user" | "kernel"
+    ranks: int  # ranks where the event appeared
+    mean_s: float
+    std_s: float
+    min_s: float
+    max_s: float
+    total_calls: int
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean — ParaProf's quick imbalance indicator (1.0 = even)."""
+        if self.mean_s <= 0:
+            return float("nan")
+        return self.max_s / self.mean_s
+
+
+def _summarise(name: str, layer: str, values_s: list[float],
+               calls: int, nranks: int) -> EventStats:
+    arr = np.asarray(values_s + [0.0] * (nranks - len(values_s)))
+    return EventStats(
+        name=name, layer=layer, ranks=len(values_s),
+        mean_s=float(arr.mean()), std_s=float(arr.std()),
+        min_s=float(arr.min()), max_s=float(arr.max()), total_calls=calls)
+
+
+def kernel_event_stats(data: JobData, inclusive: bool = False) -> list[EventStats]:
+    """Per-kernel-event statistics across all ranks (exclusive time by
+    default), sorted by descending mean."""
+    nranks = len(data.ranks)
+    values: dict[str, list[float]] = {}
+    calls: dict[str, int] = {}
+    for rd in data.ranks:
+        if rd.kprofile is None:
+            continue
+        for name, (count, incl, excl) in rd.kprofile.perf.items():
+            values.setdefault(name, []).append(
+                (incl if inclusive else excl) / rd.hz)
+            calls[name] = calls.get(name, 0) + count
+    out = [_summarise(name, "kernel", vals, calls[name], nranks)
+           for name, vals in values.items()]
+    out.sort(key=lambda s: -s.mean_s)
+    return out
+
+
+def user_event_stats(data: JobData, inclusive: bool = False) -> list[EventStats]:
+    """Per-user-routine statistics across all ranks."""
+    nranks = len(data.ranks)
+    values: dict[str, list[float]] = {}
+    calls: dict[str, int] = {}
+    for rd in data.ranks:
+        if rd.uprofile is None:
+            continue
+        for name, (count, incl, excl) in rd.uprofile.perf.items():
+            values.setdefault(name, []).append(
+                (incl if inclusive else excl) / rd.hz)
+            calls[name] = calls.get(name, 0) + count
+    out = [_summarise(name, "user", vals, calls[name], nranks)
+           for name, vals in values.items()]
+    out.sort(key=lambda s: -s.mean_s)
+    return out
+
+
+def most_imbalanced(stats: list[EventStats], min_mean_s: float = 1e-4,
+                    top: int = 5) -> list[EventStats]:
+    """The events whose max/mean ratio flags load imbalance."""
+    significant = [s for s in stats if s.mean_s >= min_mean_s]
+    significant.sort(key=lambda s: -s.imbalance)
+    return significant[:top]
+
+
+def render_stats(stats: list[EventStats], top: int = 12,
+                 title: str = "cross-rank event statistics") -> str:
+    """Render the top events' cross-rank statistics."""
+    from repro.analysis.render import ascii_table
+
+    rows = [(s.name, s.ranks, s.mean_s, s.std_s, s.min_s, s.max_s,
+             s.imbalance) for s in stats[:top]]
+    return ascii_table(
+        ("event", "ranks", "mean(s)", "std", "min", "max", "max/mean"),
+        rows, floatfmt=".4f", title=title)

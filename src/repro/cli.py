@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Unix-like clients in the spirit of the paper's runKtau, plus one command
+per reproduced table/figure so the whole evaluation can be regenerated
+from a shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """runktau: time a canned program and print its kernel profile."""
+    from repro.core.clients.runktau import run_ktau
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.params import KernelParams
+    from repro.sim.engine import Engine
+    from repro.sim.rng import RngHub
+    from repro.sim.units import MSEC, SEC
+
+    engine = Engine()
+    kernel = Kernel(engine, KernelParams(), "node0", RngHub(args.seed))
+
+    def program(ctx):
+        for _ in range(args.iterations):
+            yield from ctx.compute(args.compute_ms * MSEC)
+            yield from ctx.sleep(args.sleep_ms * MSEC)
+            yield from ctx.syscall("sys_getppid")
+
+    result = run_ktau(kernel, program, comm=args.name)
+    engine.run(until=600 * SEC)
+    print(result.report())
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.which == 1:
+        from repro.analysis.related_work import render_table1
+        print(render_table1())
+    elif args.which == 2:
+        from repro.experiments import table2
+        print("running 10 cluster simulations (a few minutes) ...")
+        print(table2.render(table2.build()))
+    elif args.which == 3:
+        from repro.experiments import table3
+        print("running the perturbation matrix ...")
+        rows = table3.build(seeds=tuple(range(1, args.seeds + 1)))
+        print(table3.render(rows))
+    elif args.which == 4:
+        from repro.experiments import table4
+        print(table4.render(table4.build()))
+    else:
+        print(f"no table {args.which} in the paper", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import chiba, fig3, fig4, fig5_6, fig7, fig8, fig9_10
+    from repro.experiments.common import STANDARD_CHIBA_CONFIGS
+
+    which = args.which
+    if which == 2:
+        from repro.experiments import fig2_controlled as f2
+        ab = f2.run_fig2ab(seed=args.seed)
+        print(f2.render_ab(ab))
+        print(f2.render_c(f2.run_fig2c(seed=args.seed)))
+        print(f2.render_e(f2.run_fig2e(seed=args.seed)))
+        return 0
+    if which in (3, 4):
+        data = chiba.get_run(STANDARD_CHIBA_CONFIGS[1], "lu")
+        if which == 3:
+            print(fig3.render(fig3.build(data)))
+        else:
+            print(fig4.render(fig4.build(data)))
+        return 0
+    if which in (5, 6):
+        runs = chiba.get_standard_runs("lu")
+        kind = "voluntary" if which == 5 else "involuntary"
+        print(fig5_6.render(fig5_6.build(runs, kind)))
+        return 0
+    if which == 7:
+        data = chiba.get_run(STANDARD_CHIBA_CONFIGS[1], "lu")
+        print(fig7.render(fig7.build(data)))
+        return 0
+    if which == 8:
+        runs = chiba.get_standard_runs("lu")
+        print(fig8.render(fig8.build(runs)))
+        return 0
+    if which in (9, 10):
+        runs = {c.label: chiba.get_run(c, "sweep3d")
+                for c in fig9_10.FIG9_CONFIGS}
+        if which == 9:
+            print(fig9_10.render_fig9(fig9_10.build_fig9(runs)))
+        else:
+            print(fig9_10.render_fig10(fig9_10.build_fig10(runs)))
+        return 0
+    print(f"no figure {which} in the paper's evaluation", file=sys.stderr)
+    return 2
+
+
+def _cmd_lmbench(args: argparse.Namespace) -> int:
+    from repro.cluster.machines import make_chiba, make_neutron
+    from repro.sim.units import SEC
+    from repro.workloads.lmbench import bw_tcp, lat_ctx, lat_syscall
+
+    cluster = make_neutron(seed=args.seed)
+    lat = lat_syscall(cluster.nodes[0].kernel, iterations=2000)
+    cluster.engine.run(until=60 * SEC)
+    print(f"lat_syscall: {lat.per_op_us:.2f} us")
+
+    cluster = make_neutron(seed=args.seed + 1)
+    ctxres = lat_ctx(cluster.nodes[0].kernel, rounds=1000)
+    cluster.engine.run(until=60 * SEC)
+    print(f"lat_ctx:     {ctxres.per_op_us:.2f} us")
+
+    cluster = make_chiba(nnodes=2, seed=args.seed)
+    bw = bw_tcp(cluster.nodes[0].kernel, cluster.nodes[1].kernel,
+                cluster.network)
+    cluster.engine.run(until=60 * SEC)
+    print(f"bw_tcp:      {bw.mb_per_s:.2f} MiB/s")
+    return 0
+
+
+def _cmd_ionode(args: argparse.Namespace) -> int:
+    from repro.experiments.ionode import render, scaling_sweep
+    from repro.workloads.ionode import IoNodeParams
+    from repro.sim.units import MSEC
+
+    params = IoNodeParams(nrequests=args.requests, request_bytes=args.bytes,
+                          think_ns=4 * MSEC, fsync_every=8)
+    counts = tuple(int(c) for c in args.clients.split(","))
+    print(render(scaling_sweep(counts, params, seed=args.seed)))
+    return 0
+
+
+def _cmd_compare_sampling(args: argparse.Namespace) -> int:
+    from repro.oprofile.harness import run_comparison
+    from repro.oprofile.compare import render_comparison, sampling_blindness_s
+
+    rows, daemon = run_comparison()
+    print(render_comparison(rows, top=16))
+    print(f"scheduling wait invisible to sampling: "
+          f"{sampling_blindness_s(rows):.3f}s")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.stats import (kernel_event_stats, most_imbalanced,
+                                      render_stats, user_event_stats)
+    from repro.experiments import chiba
+    from repro.experiments.common import STANDARD_CHIBA_CONFIGS
+
+    config = next(c for c in STANDARD_CHIBA_CONFIGS if c.label == args.config)
+    data = chiba.get_run(config, "lu")
+    print(render_stats(user_event_stats(data, inclusive=True),
+                       title=f"user routines across ranks ({args.config})"))
+    print(render_stats(kernel_event_stats(data),
+                       title=f"kernel events across ranks ({args.config})"))
+    flagged = most_imbalanced(user_event_stats(data, inclusive=True))
+    print("most imbalanced routines: "
+          + ", ".join(f"{s.name} ({s.imbalance:.1f}x)" for s in flagged))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests/completion)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KTAU reproduction (CLUSTER 2006) command-line tools")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("runktau", help="time a canned program under runKtau")
+    run.add_argument("--name", default="job")
+    run.add_argument("--iterations", type=int, default=5)
+    run.add_argument("--compute-ms", type=int, default=8)
+    run.add_argument("--sleep-ms", type=int, default=3)
+    run.add_argument("--seed", type=int, default=42)
+    run.set_defaults(func=_cmd_run)
+
+    table = sub.add_parser("table", help="regenerate a paper table (1-4)")
+    table.add_argument("which", type=int, choices=(1, 2, 3, 4))
+    table.add_argument("--seeds", type=int, default=3,
+                       help="seeds for the perturbation table")
+    table.set_defaults(func=_cmd_table)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure (2-10)")
+    figure.add_argument("which", type=int, choices=tuple(range(2, 11)))
+    figure.add_argument("--seed", type=int, default=1)
+    figure.set_defaults(func=_cmd_figure)
+
+    lm = sub.add_parser("lmbench", help="run the LMBENCH-style probes")
+    lm.add_argument("--seed", type=int, default=5)
+    lm.set_defaults(func=_cmd_lmbench)
+
+    io = sub.add_parser("ionode", help="run the I/O-node scaling extension")
+    io.add_argument("--clients", default="1,2,4,8")
+    io.add_argument("--requests", type=int, default=12)
+    io.add_argument("--bytes", type=int, default=65_536)
+    io.add_argument("--seed", type=int, default=1)
+    io.set_defaults(func=_cmd_ionode)
+
+    cmp_ = sub.add_parser("compare-sampling",
+                          help="direct measurement vs OProfile-like sampling")
+    cmp_.set_defaults(func=_cmd_compare_sampling)
+
+    stats = sub.add_parser("stats",
+                           help="ParaProf-style cross-rank statistics")
+    stats.add_argument("--config", default="64x2 Anomaly",
+                       choices=["128x1", "64x2 Anomaly", "64x2",
+                                "64x2 Pinned", "64x2 Pin,I-Bal"])
+    stats.set_defaults(func=_cmd_stats)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Cluster substrate: nodes, the network, MPI, daemons, job launching.
+
+* :mod:`repro.cluster.node` / :mod:`repro.cluster.machines` — nodes and
+  factories for the paper's testbeds (``neutron``, ``neuronic``,
+  Chiba-City).
+* :mod:`repro.cluster.network` — connection management over the simulated
+  kernels' sockets.
+* :mod:`repro.cluster.mpi` — an MPI-like message layer whose Send/Recv
+  really descend through the simulated kernel's
+  ``sys_writev → sock_sendmsg → tcp_sendmsg`` path, with TAU wrappers.
+* :mod:`repro.cluster.daemons` — background system daemons.
+* :mod:`repro.cluster.launch` — parallel job launching, placement,
+  pinning, and run-to-completion.
+"""
+
+from repro.cluster.machines import Cluster, make_chiba, make_neutron, make_neuronic
+from repro.cluster.mpi import MpiWorld, MpiRank
+from repro.cluster.launch import MpiJob, launch_mpi_job
+
+__all__ = [
+    "Cluster", "make_chiba", "make_neutron", "make_neuronic",
+    "MpiWorld", "MpiRank", "MpiJob", "launch_mpi_job",
+]

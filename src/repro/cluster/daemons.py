@@ -1,0 +1,85 @@
+"""Background system daemons.
+
+Real cluster nodes run housekeeping daemons whose wakeups preempt
+application threads (they sleep long, so the 2.6 scheduler treats them as
+interactive).  The paper's Figure 7 uses KTAU's node view to show these
+daemons' execution times are minuscule next to the LU tasks — invalidating
+the "daemon interference" hypothesis for the ccn10 slowdown — and the
+128x1 rows of Figures 5/6 show the small voluntary/involuntary scheduling
+background they induce.  The standard set below reproduces that: a few
+daemons with second-scale periods and sub-millisecond work bursts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.units import MSEC, SEC, USEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+
+#: (comm, period ns, work ns) for the standard daemon set.
+STANDARD_DAEMONS: tuple[tuple[str, int, int], ...] = (
+    ("init", 5 * SEC, 80 * USEC),
+    ("syslogd", 1 * SEC, 250 * USEC),
+    ("kblockd/0", 400 * MSEC, 120 * USEC),
+    ("crond", 10 * SEC, 500 * USEC),
+)
+
+
+def _daemon_behavior(period_ns: int, work_ns: int, phase_ns: int):
+    """A periodic daemon: sleep, then a short burst of work, forever."""
+
+    def behavior(ctx):
+        yield from ctx.sleep(phase_ns)
+        while True:
+            yield from ctx.sleep(period_ns)
+            yield from ctx.compute(work_ns)
+
+    return behavior
+
+
+def start_standard_daemons(node: "Node") -> None:
+    """Boot the standard daemon set on ``node``.
+
+    Phases are drawn from the node's deterministic RNG so daemons across
+    the cluster do not wake in lockstep.
+    """
+    rng = node.kernel.rng_hub.stream(f"daemons.{node.name}")
+    for comm, period, work in STANDARD_DAEMONS:
+        phase = int(rng.integers(period))
+        task = node.kernel.spawn(
+            _daemon_behavior(period, work, phase), comm)
+        node.daemons.append(task)
+
+
+def start_busy_daemon(node: "Node", *, pin_cpu: int | None = None,
+                      period_ns: int = 100 * MSEC, busy_ns: int = 30 * MSEC,
+                      comm: str = "busyd", random_phase: bool = False) -> None:
+    """The cycle-stealing daemon of the Figure 2-C experiment.
+
+    Pinned to one CPU, it periodically burns a large burst, preempting
+    whatever application thread shares that CPU (its long sleeps give it
+    wakeup-preemption priority).  ``random_phase`` staggers the first
+    wakeup per node — unsynchronised noise is what *amplifies* across a
+    synchronised application (Petrini et al.'s effect), while noise that
+    hits every node simultaneously is absorbed in one step.
+    """
+    phase = 0
+    if random_phase:
+        rng = node.kernel.rng_hub.stream(f"busyd-phase.{node.name}")
+        phase = int(rng.integers(period_ns))
+
+    def behavior(ctx):
+        if pin_cpu is not None:
+            yield from ctx.set_affinity({pin_cpu})
+        if phase:
+            yield from ctx.sleep(phase)
+        while True:
+            yield from ctx.sleep(period_ns)
+            yield from ctx.compute(busy_ns)
+
+    task = node.kernel.spawn(behavior, comm,
+                             cpus_allowed={pin_cpu} if pin_cpu is not None else None)
+    node.daemons.append(task)

@@ -1,0 +1,211 @@
+"""An MPI-like message layer over the simulated kernel's sockets.
+
+Point-to-point semantics: each directed rank pair communicates over its
+own TCP connection (opened lazily); messages carry a fixed envelope and
+are matched in order per pair — sufficient for the deterministic
+neighbour/wavefront patterns of LU and Sweep3D.  ``MPI_Send`` really
+issues ``sys_writev`` on the simulated kernel (descending through
+``sock_sendmsg → tcp_sendmsg``), and ``MPI_Recv`` really blocks in
+``tcp_recvmsg`` — which is how the paper's merged views (kernel activity
+*inside* MPI routines, Figures 2-E and 4) arise naturally here.
+
+Collectives are binomial trees built from the same point-to-point
+primitives, as in MPICH of the era.
+
+When the process is TAU-instrumented, public MPI entry points run inside
+TAU timers (``MPI_Send()``, ``MPI_Recv()``, ...); internal tree traffic
+stays inside the collective's own timer, like PMPI internals.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Optional
+
+from repro.kernel.net.socket import StreamSocket
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.machines import Cluster
+    from repro.cluster.node import Node
+    from repro.kernel.task import Task
+    from repro.kernel.usermode import UserContext
+
+#: Bytes of message envelope (tag, size, source) carried on the wire.
+ENVELOPE_BYTES = 32
+
+
+class MpiWorld:
+    """Shared state of one MPI job: rank → node/task directory."""
+
+    def __init__(self, cluster: "Cluster", nranks: int):
+        self.cluster = cluster
+        self.size = nranks
+        self.rank_nodes: list[Optional["Node"]] = [None] * nranks
+        self.rank_tasks: list[Optional["Task"]] = [None] * nranks
+
+    def sock(self, src_rank: int, dst_rank: int) -> StreamSocket:
+        src_node = self.rank_nodes[src_rank]
+        dst_node = self.rank_nodes[dst_rank]
+        assert src_node is not None and dst_node is not None
+        return self.cluster.network.connect(
+            src_node.kernel, dst_node.kernel, (src_rank, dst_rank))
+
+
+class Request:
+    """A posted non-blocking operation, completed by :meth:`MpiRank.wait`."""
+
+    __slots__ = ("kind", "peer", "nbytes", "done")
+
+    def __init__(self, kind: str, peer: int, nbytes: int):
+        self.kind = kind  # "recv" | "send"
+        self.peer = peer
+        self.nbytes = nbytes
+        self.done = False
+
+
+class MpiRank:
+    """The per-rank MPI handle bound to a process context."""
+
+    def __init__(self, world: MpiWorld, rank: int, ctx: "UserContext"):
+        self.world = world
+        self.rank = rank
+        self.ctx = ctx
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    # ------------------------------------------------------------------
+    def _tau(self, name: str):
+        tau = self.ctx.task.tau
+        return tau.timer(name) if tau is not None else nullcontext()
+
+    def _send_raw(self, dst: int, nbytes: int):
+        sock = self.world.sock(self.rank, dst)
+        yield from self.ctx.syscall("sys_writev", sock=sock,
+                                    nbytes=nbytes + ENVELOPE_BYTES)
+        self.bytes_sent += nbytes
+
+    def _recv_raw(self, src: int, nbytes: int):
+        sock = self.world.sock(src, self.rank)
+        want = nbytes + ENVELOPE_BYTES
+        got = 0
+        while got < want:
+            r = yield from self.ctx.syscall("sys_readv", sock=sock,
+                                            nbytes=want - got)
+            got += r
+        self.bytes_received += nbytes
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, dst: int, nbytes: int, tag: int = 0):
+        """Blocking standard send (buffered: returns when handed to the NIC)."""
+        with self._tau("MPI_Send()"):
+            yield from self._send_raw(dst, nbytes)
+
+    def recv(self, src: int, nbytes: int, tag: int = 0):
+        """Blocking receive of a message of known size from ``src``."""
+        with self._tau("MPI_Recv()"):
+            yield from self._recv_raw(src, nbytes)
+
+    def irecv(self, src: int, nbytes: int, tag: int = 0) -> Request:
+        """Post a non-blocking receive (completed in :meth:`wait`)."""
+        return Request("recv", src, nbytes)
+
+    def isend(self, dst: int, nbytes: int, tag: int = 0) -> Request:
+        """Post a non-blocking send (the transfer happens in :meth:`wait`)."""
+        return Request("send", dst, nbytes)
+
+    def wait(self, request: Request):
+        """Complete a posted request."""
+        if request.done:
+            return
+        with self._tau("MPI_Wait()"):
+            if request.kind == "recv":
+                yield from self._recv_raw(request.peer, request.nbytes)
+            else:
+                yield from self._send_raw(request.peer, request.nbytes)
+        request.done = True
+
+    # ------------------------------------------------------------------
+    # Collectives (binomial trees, MPICH-style)
+    # ------------------------------------------------------------------
+    def _bcast_tree(self, nbytes: int, root: int):
+        size = self.size
+        relrank = (self.rank - root) % size
+        mask = 1
+        while mask < size:
+            if relrank & mask:
+                src = ((relrank - mask) + root) % size
+                yield from self._recv_raw(src, nbytes)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if relrank + mask < size:
+                dst = ((relrank + mask) + root) % size
+                yield from self._send_raw(dst, nbytes)
+            mask >>= 1
+
+    def _reduce_tree(self, nbytes: int, root: int):
+        size = self.size
+        relrank = (self.rank - root) % size
+        mask = 1
+        while mask < size:
+            if relrank & mask:
+                dst = ((relrank - mask) + root) % size
+                yield from self._send_raw(dst, nbytes)
+                break
+            if relrank + mask < size:
+                src = ((relrank + mask) + root) % size
+                yield from self._recv_raw(src, nbytes)
+                # combining cost for the reduction operator
+                yield from self.ctx.compute(200 + nbytes // 64)
+            mask <<= 1
+
+    def bcast(self, nbytes: int, root: int = 0):
+        with self._tau("MPI_Bcast()"):
+            yield from self._bcast_tree(nbytes, root)
+
+    def reduce(self, nbytes: int, root: int = 0):
+        with self._tau("MPI_Reduce()"):
+            yield from self._reduce_tree(nbytes, root)
+
+    def allreduce(self, nbytes: int):
+        with self._tau("MPI_Allreduce()"):
+            yield from self._reduce_tree(nbytes, 0)
+            yield from self._bcast_tree(nbytes, 0)
+
+    def barrier(self):
+        with self._tau("MPI_Barrier()"):
+            yield from self._reduce_tree(8, 0)
+            yield from self._bcast_tree(8, 0)
+
+    def alltoall(self, nbytes_per_peer: int):
+        """Pairwise-exchange all-to-all (MPICH's long-message algorithm).
+
+        ``size - 1`` rounds; in round ``r`` each rank exchanges with
+        partner ``rank ^ r`` (power-of-two sizes) or ``(rank + r) % size``
+        otherwise.  Sends go out before receives each round — safe under
+        the buffered-send semantics — and every rank moves
+        ``nbytes_per_peer`` to every other rank.
+        """
+        size = self.size
+        pow2 = size & (size - 1) == 0
+        with self._tau("MPI_Alltoall()"):
+            for round_ in range(1, size):
+                if pow2:
+                    partner = self.rank ^ round_
+                else:
+                    partner = (self.rank + round_) % size
+                    # non-power-of-two: receive from the mirrored offset
+                if pow2:
+                    yield from self._send_raw(partner, nbytes_per_peer)
+                    yield from self._recv_raw(partner, nbytes_per_peer)
+                else:
+                    src = (self.rank - round_) % size
+                    yield from self._send_raw(partner, nbytes_per_peer)
+                    yield from self._recv_raw(src, nbytes_per_peer)

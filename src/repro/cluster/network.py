@@ -1,0 +1,47 @@
+"""Cluster connection management.
+
+Owns the socket-ID counter (so repeated experiments in one process stay
+deterministic) and caches one :class:`StreamSocket` per directed node/rank
+pair, created lazily on first use — the way MPI implementations of the era
+opened TCP connections on first communication.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.kernel.net.socket import StreamSocket
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+
+
+class ClusterNetwork:
+    """Directory of directed connections between node kernels."""
+
+    def __init__(self) -> None:
+        self._next_sock_id = 1
+        self._conns: dict[tuple[int, int], StreamSocket] = {}
+
+    def connect(self, src: "Kernel", dst: "Kernel",
+                channel: tuple[int, int]) -> StreamSocket:
+        """The socket carrying traffic for directed ``channel``.
+
+        ``channel`` is any hashable pair (typically ``(src_rank,
+        dst_rank)``); each channel gets its own connection, so per-flow
+        IRQ routing and cache affinity are per channel.
+        """
+        sock = self._conns.get(channel)
+        if sock is None:
+            sock = StreamSocket(src, dst, sock_id=self._next_sock_id)
+            self._next_sock_id += 1
+            self._conns[channel] = sock
+        return sock
+
+    @property
+    def connection_count(self) -> int:
+        return len(self._conns)
+
+    def connections(self):
+        """Iterate ``(channel, socket)`` pairs (analysis-side flow stats)."""
+        return self._conns.items()

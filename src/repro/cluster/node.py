@@ -1,0 +1,25 @@
+"""A cluster node: a kernel plus its housekeeping."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.task import Task
+
+
+class Node:
+    """One machine in the cluster."""
+
+    def __init__(self, index: int, name: str, kernel: "Kernel"):
+        self.index = index
+        self.name = name
+        self.kernel = kernel
+        #: background system daemons started on this node
+        self.daemons: list["Task"] = []
+        #: application (MPI) tasks placed on this node
+        self.app_tasks: list["Task"] = []
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Node {self.name} cpus={self.kernel.params.online_cpus}>"

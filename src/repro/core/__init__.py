@@ -1,0 +1,45 @@
+"""KTAU: the kernel measurement system (the paper's primary contribution).
+
+The architecture mirrors Figure 1 of the paper:
+
+* **Kernel instrumentation** (:mod:`repro.core.points`,
+  :mod:`repro.core.registry`) — entry/exit, atomic, and event-mapping
+  instrumentation primitives compiled into the simulated kernel, grouped by
+  subsystem and controllable at compile/boot/run time
+  (:mod:`repro.core.config`).
+* **Measurement system** (:mod:`repro.core.measurement`,
+  :mod:`repro.core.tracebuf`) — per-task profile and trace structures hung
+  off the simulated process control block, with inclusive/exclusive
+  accounting via an activation stack and a fixed-size circular trace
+  buffer.
+* **/proc/ktau** (:mod:`repro.core.procfs`, :mod:`repro.core.wire`) — the
+  session-less two-call (size, then read) binary interface.
+* **libKtau** (:mod:`repro.core.libktau`) — the user API wrapping the proc
+  protocol: kernel control, data retrieval, binary/ASCII conversion,
+  formatted output.
+* **Clients** (:mod:`repro.core.clients`) — KTAUD, runKtau, and
+  self-profiling clients.
+"""
+
+from repro.core.config import KtauBuildConfig, KtauRuntimeControl
+from repro.core.measurement import Ktau, KtauTaskData, PerfData, AtomicData
+from repro.core.points import Group, POINT_GROUPS
+from repro.core.registry import EventRegistry, InstrumentationPoint
+from repro.core.overhead import OverheadModel
+from repro.core.libktau import LibKtau, Scope
+
+__all__ = [
+    "Ktau",
+    "KtauTaskData",
+    "PerfData",
+    "AtomicData",
+    "KtauBuildConfig",
+    "KtauRuntimeControl",
+    "Group",
+    "POINT_GROUPS",
+    "EventRegistry",
+    "InstrumentationPoint",
+    "OverheadModel",
+    "LibKtau",
+    "Scope",
+]

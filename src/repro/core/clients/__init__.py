@@ -1,0 +1,19 @@
+"""KTAU clients.
+
+The paper's client taxonomy, reproduced as simulated processes / helpers:
+
+* :mod:`repro.core.clients.ktaud` — KTAUD, the system-wide monitoring
+  daemon: periodically extracts profile and trace data for all (or a
+  configured subset of) processes.  Needed chiefly for closed-source
+  applications that cannot be TAU-instrumented.
+* :mod:`repro.core.clients.runktau` — runKtau, the ``time``-like wrapper:
+  runs a job and extracts its detailed KTAU profile after it exits.
+* :mod:`repro.core.clients.selfprofile` — a self-profiling client reading
+  its own kernel profile mid-run through libKtau's SELF mode.
+"""
+
+from repro.core.clients.ktaud import Ktaud
+from repro.core.clients.runktau import run_ktau, RunKtauResult
+from repro.core.clients.selfprofile import self_profiling_task
+
+__all__ = ["Ktaud", "run_ktau", "RunKtauResult", "self_profiling_task"]

@@ -1,0 +1,63 @@
+"""runKtau: the ``time``-like wrapper client.
+
+``time`` spawns a child, executes the job within it, and gathers
+rudimentary performance data after it completes.  runKtau does the same,
+except it extracts the process's detailed KTAU profile — which relies on
+KTAU preserving a zombie's measurement data until reaped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from repro.core.libktau import LibKtau, Scope
+from repro.core.wire import TaskProfileDump
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.task import Task
+    from repro.kernel.usermode import UserContext
+
+
+@dataclass
+class RunKtauResult:
+    """Filled in when the wrapped job exits."""
+
+    task: "Task"
+    profile: Optional[TaskProfileDump] = None
+    exit_code: Optional[int] = None
+    elapsed_ns: Optional[int] = None
+
+    def report(self) -> str:
+        """The formatted profile report (runKtau's stdout)."""
+        if self.profile is None:
+            return "runktau: job still running\n"
+        hz = self.task.kernel.clock.hz
+        header = (f"runktau: elapsed {self.elapsed_ns / 1e9:.6f}s "
+                  f"exit={self.exit_code}\n")
+        return header + LibKtau.format_profile(self.profile, hz)
+
+
+def run_ktau(kernel: "Kernel",
+             behavior: Callable[["UserContext"], Generator],
+             comm: str = "job") -> RunKtauResult:
+    """Run ``behavior`` under runKtau on ``kernel``.
+
+    Returns immediately with a result object that is populated (profile
+    extracted from the zombie store and reaped) when the child exits.
+    """
+    task = kernel.spawn(behavior, comm)
+    result = RunKtauResult(task=task)
+    lib = LibKtau(kernel.ktau_proc)
+
+    def harvest(dead: "Task") -> None:
+        profiles = lib.read_profiles(scope=Scope.OTHER, pids=[dead.pid],
+                                     include_zombies=True)
+        result.profile = profiles.get(dead.pid)
+        result.exit_code = dead.exit_code
+        result.elapsed_ns = dead.runtime_ns()
+        kernel.ktau.reap(dead.pid)  # release the zombie's data
+
+    task.on_exit(harvest)
+    return result

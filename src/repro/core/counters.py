@@ -1,0 +1,47 @@
+"""Simulated hardware performance counters (§6 future work:
+"performance counter access to KTAU").
+
+Real KTAU would read PMCs (instructions retired, cache misses) alongside
+the TSC at each entry/exit.  The simulated equivalent maintains per-task
+counters advanced by the CPU executor as it charges time, using
+mode-specific rates: user code retires more instructions per cycle than
+kernel code, and kernel paths (pointer-chasing, device access) miss the
+L2 more per kilocycle.  KTAU snapshots these counters at event
+boundaries, yielding per-event inclusive instruction/miss counts that
+merge with cycle profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PmcRates:
+    """Counter-advance rates for one execution mode."""
+
+    ipc: float  # instructions retired per cycle
+    l2_miss_per_kcycle: float  # L2 misses per 1000 cycles
+
+
+#: Default rates for a Pentium-III-era core.
+USER_RATES = PmcRates(ipc=0.90, l2_miss_per_kcycle=1.2)
+KERNEL_RATES = PmcRates(ipc=0.55, l2_miss_per_kcycle=3.0)
+
+
+class TaskCounters:
+    """Per-task retired-instruction and L2-miss counters."""
+
+    __slots__ = ("insn_retired", "l2_misses")
+
+    def __init__(self) -> None:
+        self.insn_retired = 0
+        self.l2_misses = 0
+
+    def advance(self, cycles: int, kernel_mode: bool) -> None:
+        rates = KERNEL_RATES if kernel_mode else USER_RATES
+        self.insn_retired += int(cycles * rates.ipc)
+        self.l2_misses += int(cycles * rates.l2_miss_per_kcycle) // 1000
+
+    def read(self) -> tuple[int, int]:
+        return (self.insn_retired, self.l2_misses)

@@ -1,0 +1,119 @@
+"""Instrumentation-point groups.
+
+KTAU groups instrumentation points by the kernel subsystem they belong to
+(scheduling, networking, ...) or the context they arise in (system calls,
+interrupts, bottom-half handling).  Compile-time configuration selects
+which groups are built in; boot-time/runtime control can disable built-in
+groups (the ``Ktau Off`` configuration of the perturbation study).
+
+The table below names every instrumentation point the simulated kernel
+fires and assigns it to a group.  The names match real Linux kernel symbols
+where one exists so that the analysis layer reads like the paper's figures
+(``schedule``, ``do_IRQ``, ``do_softirq``, ``tcp_sendmsg`` ...).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Group(str, enum.Enum):
+    """KTAU instrumentation groups (compile/boot/runtime selectable)."""
+
+    SCHED = "sched"
+    SYSCALL = "syscall"
+    IRQ = "irq"
+    BH = "bh"  # bottom halves / softirqs
+    NET = "net"  # network (TCP/socket) subsystem
+    EXCEPTION = "exception"
+    SIGNAL = "signal"
+    IO = "io"  # block-I/O subsystem (the ZeptoOS I/O-node work of §6)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Every instrumentation point in the simulated kernel, mapped to its group.
+#: The kernel refuses to fire a point that is not declared here, which
+#: catches typos in kernel code at test time.
+POINT_GROUPS: dict[str, Group] = {
+    # -- scheduling ----------------------------------------------------
+    "schedule": Group.SCHED,  # involuntary (preemption / timeslice expiry)
+    "schedule_vol": Group.SCHED,  # voluntary (blocked waiting for an event)
+    "__wake_up": Group.SCHED,
+    "load_balance": Group.SCHED,
+    # -- system calls --------------------------------------------------
+    "sys_read": Group.SYSCALL,
+    "sys_write": Group.SYSCALL,
+    "sys_readv": Group.SYSCALL,
+    "sys_writev": Group.SYSCALL,
+    "sys_poll": Group.SYSCALL,
+    "sys_nanosleep": Group.SYSCALL,
+    "sys_gettimeofday": Group.SYSCALL,
+    "sys_getppid": Group.SYSCALL,
+    "sys_sched_setaffinity": Group.SYSCALL,
+    "sys_socketcall": Group.SYSCALL,
+    "sys_pipe": Group.SYSCALL,
+    "sys_exit": Group.SYSCALL,
+    "sys_pwrite64": Group.SYSCALL,
+    "sys_fsync": Group.SYSCALL,
+    # -- interrupts ----------------------------------------------------
+    "do_IRQ": Group.IRQ,
+    "timer_interrupt": Group.IRQ,
+    "eth_interrupt": Group.IRQ,
+    "smp_apic_timer_interrupt": Group.IRQ,
+    # -- bottom halves ---------------------------------------------------
+    "do_softirq": Group.BH,
+    "net_rx_action": Group.BH,
+    "net_tx_action": Group.BH,
+    "run_timer_softirq": Group.BH,
+    # -- network subsystem ----------------------------------------------
+    "sock_sendmsg": Group.NET,
+    "tcp_sendmsg": Group.NET,
+    "ip_queue_xmit": Group.NET,
+    "dev_queue_xmit": Group.NET,
+    "sock_recvmsg": Group.NET,
+    "tcp_recvmsg": Group.NET,
+    "tcp_v4_rcv": Group.NET,
+    "tcp_rcv_established": Group.NET,
+    "tcp_data_queue": Group.NET,
+    # atomic events in the network subsystem (packet sizes)
+    "net.pkt_tx_bytes": Group.NET,
+    "net.pkt_rx_bytes": Group.NET,
+    # -- block I/O ---------------------------------------------------------
+    "generic_make_request": Group.IO,
+    "__make_request": Group.IO,
+    "end_request": Group.IO,
+    "io.bio_bytes": Group.IO,  # atomic: submitted request sizes
+    "ide_intr": Group.IRQ,  # disk completion interrupt handler
+    # -- exceptions ------------------------------------------------------
+    "do_page_fault": Group.EXCEPTION,
+    # -- signals ---------------------------------------------------------
+    "do_signal": Group.SIGNAL,
+    "signal_deliver": Group.SIGNAL,
+}
+
+#: Points the TCP analysis (Figures 9 and 10) treats as "kernel TCP calls".
+TCP_CALL_POINTS: tuple[str, ...] = (
+    "tcp_sendmsg",
+    "tcp_recvmsg",
+    "tcp_v4_rcv",
+    "tcp_rcv_established",
+    "tcp_data_queue",
+)
+
+#: Scheduling points, used by the voluntary/involuntary analyses.
+SCHED_VOLUNTARY_POINT = "schedule_vol"
+SCHED_INVOLUNTARY_POINT = "schedule"
+
+
+def group_of(name: str) -> Group:
+    """Group of a declared instrumentation point.
+
+    Raises ``KeyError`` for undeclared names — kernel code must only fire
+    declared points.
+    """
+    return POINT_GROUPS[name]
+
+
+ALL_GROUPS: frozenset[Group] = frozenset(Group)

@@ -1,0 +1,87 @@
+"""Per-task circular trace buffers.
+
+When tracing is configured, KTAU attaches a fixed-size circular buffer to
+each process; entries are (timestamp, event, kind, value) records.  If
+user-space (KTAUD or a self-tracing client) does not drain the buffer fast
+enough, the oldest records are overwritten and *lost* — the paper calls
+this out explicitly, and tests exercise it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class TraceKind(enum.IntEnum):
+    """Record types in a KTAU trace."""
+
+    ENTRY = 0
+    EXIT = 1
+    ATOMIC = 2
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace-buffer record.
+
+    ``cycles`` is the node-local TSC timestamp; ``event_id`` indexes the
+    node's event-mapping table; ``value`` carries the atomic-event payload
+    (zero for entry/exit records).
+    """
+
+    cycles: int
+    event_id: int
+    kind: TraceKind
+    value: int = 0
+
+
+class TraceBuffer:
+    """Fixed-capacity circular buffer of :class:`TraceRecord`.
+
+    ``drain`` returns and removes the buffered records in order;
+    ``lost_count`` reports how many records were overwritten before being
+    read (cumulative).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("trace buffer capacity must be positive")
+        self.capacity = capacity
+        self._buf: list[TraceRecord | None] = [None] * capacity
+        self._head = 0  # next write slot
+        self._count = 0  # valid records currently buffered
+        self.lost_count = 0  # cumulative overwrites
+        self.total_records = 0  # cumulative writes
+
+    def append(self, record: TraceRecord) -> None:
+        if self._count == self.capacity:
+            self.lost_count += 1
+        else:
+            self._count += 1
+        self._buf[self._head] = record
+        self._head = (self._head + 1) % self.capacity
+        self.total_records += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def peek(self) -> list[TraceRecord]:
+        """Buffered records oldest-first, without removing them."""
+        start = (self._head - self._count) % self.capacity
+        out: list[TraceRecord] = []
+        for i in range(self._count):
+            rec = self._buf[(start + i) % self.capacity]
+            assert rec is not None
+            out.append(rec)
+        return out
+
+    def drain(self) -> list[TraceRecord]:
+        """Remove and return all buffered records, oldest-first."""
+        out = self.peek()
+        self._count = 0
+        return out
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.peek())

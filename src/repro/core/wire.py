@@ -1,0 +1,307 @@
+"""Binary wire format for /proc/ktau data.
+
+libKtau's documented responsibilities include "data conversion (ASCII
+to/from binary)"; the kernel side hands out packed binary buffers and the
+user library decodes them.  We reproduce that split: :func:`pack_profiles`
+runs on the kernel side of the proc interface, :func:`unpack_profiles` in
+libKtau.  The format embeds the node's event-mapping table so that decoded
+profiles are keyed by event *name* (numeric IDs are node-local and bind in
+first-arrival order).
+
+Layout (little-endian)::
+
+    header:  4s magic 'KTAU' | H version | H flags | I ntasks | I nmap
+    map[nmap]:   I id | B len | name | B len | group
+    task[ntasks]:
+        I pid | B len | comm
+        I nperf   | nperf   * (I id | Q count | Q incl | Q excl)
+        I natomic | natomic * (I id | Q count | Q sum | Q min | Q max)
+        I nctx    | nctx    * (B len | ctx | I id | Q count | Q excl)
+        I ncnt    | ncnt    * (I id | Q count | Q insn | Q l2miss)
+        I nedge   | nedge   * (B len | parent | I id | Q count | Q incl)
+
+(The counter and call-graph sections are the §6 extensions; they are
+always present in version 2 and simply empty when the corresponding
+build options are off.)
+
+Trace buffers use a separate, simpler layout::
+
+    4s magic 'KTRC' | H version | I pid | Q lost | I nrec
+    rec[nrec]: Q cycles | I id | B kind | Q value
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.core.measurement import KtauTaskData
+from repro.core.registry import EventRegistry
+from repro.core.tracebuf import TraceKind, TraceRecord
+
+MAGIC_PROFILE = b"KTAU"
+MAGIC_TRACE = b"KTRC"
+VERSION = 2
+
+_HDR = struct.Struct("<4sHHII")
+_MAP_ENTRY = struct.Struct("<I")
+_PERF_ENTRY = struct.Struct("<IQQQ")
+_ATOMIC_ENTRY = struct.Struct("<IQQQQ")
+_CTX_FIXED = struct.Struct("<IQQ")
+_COUNTER_ENTRY = struct.Struct("<IQQQ")
+_EDGE_FIXED = struct.Struct("<IQQ")
+_TASK_FIXED = struct.Struct("<I")
+_U32 = struct.Struct("<I")
+_TRACE_HDR = struct.Struct("<4sHIQI")
+_TRACE_REC = struct.Struct("<QIBQ")
+
+
+class WireError(ValueError):
+    """Raised by unpackers on malformed or truncated buffers."""
+
+
+def _pack_str(out: bytearray, s: str) -> None:
+    raw = s.encode("utf-8")
+    if len(raw) > 255:
+        raw = raw[:255]
+    out.append(len(raw))
+    out.extend(raw)
+
+
+def _unpack_str(buf: bytes, off: int) -> tuple[str, int]:
+    if off >= len(buf):
+        raise WireError("truncated string length")
+    n = buf[off]
+    off += 1
+    if off + n > len(buf):
+        raise WireError("truncated string body")
+    return buf[off:off + n].decode("utf-8"), off + n
+
+
+# ---------------------------------------------------------------------------
+# Decoded (user-space) representations
+# ---------------------------------------------------------------------------
+@dataclass
+class TaskProfileDump:
+    """A decoded per-task profile, keyed by event name."""
+
+    pid: int
+    comm: str
+    #: event name -> (count, inclusive cycles, exclusive cycles)
+    perf: dict[str, tuple[int, int, int]] = field(default_factory=dict)
+    #: event name -> (count, sum, min, max)
+    atomic: dict[str, tuple[int, int, int, int]] = field(default_factory=dict)
+    #: (user context, event name) -> (count, exclusive cycles)
+    context_pairs: dict[tuple[str, str], tuple[int, int]] = field(default_factory=dict)
+    #: event name -> group name (from the embedded mapping table)
+    groups: dict[str, str] = field(default_factory=dict)
+    #: event name -> (count, inclusive instructions, inclusive L2 misses)
+    counters: dict[str, tuple[int, int, int]] = field(default_factory=dict)
+    #: (parent key, event name) -> (count, inclusive cycles); parent key
+    #: is "K:<event>", "U:<routine>", or "" for a root activation
+    edges: dict[tuple[str, str], tuple[int, int]] = field(default_factory=dict)
+
+
+@dataclass
+class TraceDump:
+    """A decoded per-task trace buffer."""
+
+    pid: int
+    lost: int
+    #: (cycles, event name, kind, value)
+    records: list[tuple[int, str, TraceKind, int]] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Kernel-side packing
+# ---------------------------------------------------------------------------
+def pack_profiles(tasks: dict[int, KtauTaskData], registry: EventRegistry) -> bytes:
+    """Serialise a profile snapshot plus the event-mapping table."""
+    out = bytearray()
+    mapping = registry.mapping_table()
+    out.extend(_HDR.pack(MAGIC_PROFILE, VERSION, 0, len(tasks), len(mapping)))
+    for event_id, name, group in mapping:
+        out.extend(_MAP_ENTRY.pack(event_id))
+        _pack_str(out, name)
+        _pack_str(out, group)
+    for pid in sorted(tasks):
+        data = tasks[pid]
+        out.extend(_TASK_FIXED.pack(pid))
+        _pack_str(out, data.comm)
+        out.extend(_U32.pack(len(data.profile)))
+        for event_id in sorted(data.profile):
+            perf = data.profile[event_id]
+            out.extend(_PERF_ENTRY.pack(event_id, perf.count, perf.incl_cycles,
+                                        perf.excl_cycles))
+        out.extend(_U32.pack(len(data.atomic)))
+        for event_id in sorted(data.atomic):
+            stats = data.atomic[event_id]
+            out.extend(_ATOMIC_ENTRY.pack(event_id, *stats.as_tuple()))
+        out.extend(_U32.pack(len(data.context_pairs)))
+        for (ctx, event_id) in sorted(data.context_pairs):
+            count, excl = data.context_pairs[(ctx, event_id)]
+            _pack_str(out, ctx)
+            out.extend(_CTX_FIXED.pack(event_id, count, excl))
+        out.extend(_U32.pack(len(data.counter_profile)))
+        for event_id in sorted(data.counter_profile):
+            count, insn, l2 = data.counter_profile[event_id]
+            out.extend(_COUNTER_ENTRY.pack(event_id, count, insn, l2))
+        out.extend(_U32.pack(len(data.callgraph)))
+        for (parent, event_id) in sorted(data.callgraph):
+            count, incl = data.callgraph[(parent, event_id)]
+            _pack_str(out, parent)
+            out.extend(_EDGE_FIXED.pack(event_id, count, incl))
+    return bytes(out)
+
+
+def pack_trace(pid: int, lost: int, records: list[TraceRecord],
+               registry: EventRegistry) -> bytes:
+    """Serialise a drained trace buffer (mapping shipped as a side table).
+
+    The trace format references events by ID; a compact mapping table is
+    appended after the records (id/name pairs for the IDs actually used).
+    """
+    out = bytearray()
+    out.extend(_TRACE_HDR.pack(MAGIC_TRACE, VERSION, pid, lost, len(records)))
+    used: set[int] = set()
+    for rec in records:
+        out.extend(_TRACE_REC.pack(rec.cycles, rec.event_id, int(rec.kind), rec.value))
+        used.add(rec.event_id)
+    out.extend(_U32.pack(len(used)))
+    for event_id in sorted(used):
+        out.extend(_MAP_ENTRY.pack(event_id))
+        _pack_str(out, registry.name_of(event_id))
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# User-side unpacking (libKtau)
+# ---------------------------------------------------------------------------
+def unpack_profiles(buf: bytes) -> dict[int, TaskProfileDump]:
+    """Decode a profile buffer into name-keyed per-task dumps."""
+    if len(buf) < _HDR.size:
+        raise WireError("buffer shorter than header")
+    magic, version, _flags, ntasks, nmap = _HDR.unpack_from(buf, 0)
+    if magic != MAGIC_PROFILE:
+        raise WireError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise WireError(f"unsupported version {version}")
+    off = _HDR.size
+    names: dict[int, str] = {}
+    groups: dict[int, str] = {}
+    for _ in range(nmap):
+        if off + _MAP_ENTRY.size > len(buf):
+            raise WireError("truncated mapping table")
+        (event_id,) = _MAP_ENTRY.unpack_from(buf, off)
+        off += _MAP_ENTRY.size
+        name, off = _unpack_str(buf, off)
+        group, off = _unpack_str(buf, off)
+        names[event_id] = name
+        groups[event_id] = group
+
+    def name_of(event_id: int) -> str:
+        try:
+            return names[event_id]
+        except KeyError:
+            raise WireError(f"event id {event_id} missing from mapping table") from None
+
+    dumps: dict[int, TaskProfileDump] = {}
+    for _ in range(ntasks):
+        if off + _TASK_FIXED.size > len(buf):
+            raise WireError("truncated task header")
+        (pid,) = _TASK_FIXED.unpack_from(buf, off)
+        off += _TASK_FIXED.size
+        comm, off = _unpack_str(buf, off)
+        dump = TaskProfileDump(pid=pid, comm=comm)
+        if off + _U32.size > len(buf):
+            raise WireError("truncated perf count")
+        (nperf,) = _U32.unpack_from(buf, off)
+        off += _U32.size
+        for _ in range(nperf):
+            if off + _PERF_ENTRY.size > len(buf):
+                raise WireError("truncated perf entry")
+            event_id, count, incl, excl = _PERF_ENTRY.unpack_from(buf, off)
+            off += _PERF_ENTRY.size
+            name = name_of(event_id)
+            dump.perf[name] = (count, incl, excl)
+            dump.groups[name] = groups.get(event_id, "")
+        if off + _U32.size > len(buf):
+            raise WireError("truncated atomic count")
+        (natomic,) = _U32.unpack_from(buf, off)
+        off += _U32.size
+        for _ in range(natomic):
+            if off + _ATOMIC_ENTRY.size > len(buf):
+                raise WireError("truncated atomic entry")
+            event_id, count, total, mn, mx = _ATOMIC_ENTRY.unpack_from(buf, off)
+            off += _ATOMIC_ENTRY.size
+            name = name_of(event_id)
+            dump.atomic[name] = (count, total, mn, mx)
+            dump.groups[name] = groups.get(event_id, "")
+        if off + _U32.size > len(buf):
+            raise WireError("truncated context count")
+        (nctx,) = _U32.unpack_from(buf, off)
+        off += _U32.size
+        for _ in range(nctx):
+            ctx, off = _unpack_str(buf, off)
+            if off + _CTX_FIXED.size > len(buf):
+                raise WireError("truncated context entry")
+            event_id, count, excl = _CTX_FIXED.unpack_from(buf, off)
+            off += _CTX_FIXED.size
+            dump.context_pairs[(ctx, name_of(event_id))] = (count, excl)
+        if off + _U32.size > len(buf):
+            raise WireError("truncated counter count")
+        (ncnt,) = _U32.unpack_from(buf, off)
+        off += _U32.size
+        for _ in range(ncnt):
+            if off + _COUNTER_ENTRY.size > len(buf):
+                raise WireError("truncated counter entry")
+            event_id, count, insn, l2 = _COUNTER_ENTRY.unpack_from(buf, off)
+            off += _COUNTER_ENTRY.size
+            dump.counters[name_of(event_id)] = (count, insn, l2)
+        if off + _U32.size > len(buf):
+            raise WireError("truncated edge count")
+        (nedge,) = _U32.unpack_from(buf, off)
+        off += _U32.size
+        for _ in range(nedge):
+            parent, off = _unpack_str(buf, off)
+            if off + _EDGE_FIXED.size > len(buf):
+                raise WireError("truncated edge entry")
+            event_id, count, incl = _EDGE_FIXED.unpack_from(buf, off)
+            off += _EDGE_FIXED.size
+            dump.edges[(parent, name_of(event_id))] = (count, incl)
+        dumps[pid] = dump
+    return dumps
+
+
+def unpack_trace(buf: bytes) -> TraceDump:
+    """Decode a trace buffer."""
+    if len(buf) < _TRACE_HDR.size:
+        raise WireError("trace buffer shorter than header")
+    magic, version, pid, lost, nrec = _TRACE_HDR.unpack_from(buf, 0)
+    if magic != MAGIC_TRACE:
+        raise WireError(f"bad trace magic {magic!r}")
+    if version != VERSION:
+        raise WireError(f"unsupported trace version {version}")
+    off = _TRACE_HDR.size
+    raw: list[tuple[int, int, int, int]] = []
+    for _ in range(nrec):
+        if off + _TRACE_REC.size > len(buf):
+            raise WireError("truncated trace record")
+        raw.append(_TRACE_REC.unpack_from(buf, off))
+        off += _TRACE_REC.size
+    if off + _U32.size > len(buf):
+        raise WireError("truncated trace mapping count")
+    (nmap,) = _U32.unpack_from(buf, off)
+    off += _U32.size
+    names: dict[int, str] = {}
+    for _ in range(nmap):
+        if off + _MAP_ENTRY.size > len(buf):
+            raise WireError("truncated trace mapping entry")
+        (event_id,) = _MAP_ENTRY.unpack_from(buf, off)
+        off += _MAP_ENTRY.size
+        name, off = _unpack_str(buf, off)
+        names[event_id] = name
+    dump = TraceDump(pid=pid, lost=lost)
+    for cycles, event_id, kind, value in raw:
+        dump.records.append((cycles, names[event_id], TraceKind(kind), value))
+    return dump

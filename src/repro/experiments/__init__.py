@@ -1,0 +1,15 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+``common`` holds the cluster/run configuration machinery shared by all of
+them; ``chiba`` runs (and memoises) the five-configuration LU/Sweep3D
+sweeps that Figures 3–8 and Table 2 all consume; the ``fig*``/``table*``
+modules are thin extractors that turn harvested job data into the exact
+series/rows each display shows.
+"""
+
+from repro.experiments.common import (ChibaConfig, STANDARD_CHIBA_CONFIGS,
+                                      run_chiba_app, bench_lu_params,
+                                      bench_sweep_params)
+
+__all__ = ["ChibaConfig", "STANDARD_CHIBA_CONFIGS", "run_chiba_app",
+           "bench_lu_params", "bench_sweep_params"]

@@ -1,0 +1,51 @@
+"""The §5.2 Chiba-City run matrix, shared (and memoised) across harnesses.
+
+Figures 3–8 and Table 2 all consume the same five-configuration runs of
+LU (plus Sweep3D for Table 2 and Figures 9/10).  Running them once per
+process and caching keeps the per-figure benchmarks honest — every figure
+really is derived from the same experiment, as in the paper — without
+re-simulating for each.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.profiles import JobData
+from repro.experiments.common import (STANDARD_CHIBA_CONFIGS, ChibaConfig,
+                                      bench_lu_params, bench_sweep_params,
+                                      run_chiba_app)
+
+_cache: dict[tuple, JobData] = {}
+
+
+def _key(config: ChibaConfig, app: str, scale: float) -> tuple:
+    return (app, scale, config.label, config.seed, config.nranks)
+
+
+def get_run(config: ChibaConfig, app: str = "lu", scale: float = 1.0) -> JobData:
+    """One configuration's harvested run (memoised per process)."""
+    key = _key(config, app, scale)
+    data = _cache.get(key)
+    if data is None:
+        params = bench_lu_params(scale) if app == "lu" else bench_sweep_params(scale)
+        data = run_chiba_app(config, app, params)
+        _cache[key] = data
+    return data
+
+
+def get_standard_runs(app: str = "lu", scale: float = 1.0,
+                      labels: Optional[tuple[str, ...]] = None
+                      ) -> dict[str, JobData]:
+    """The five-configuration sweep, label → harvested data."""
+    out: dict[str, JobData] = {}
+    for config in STANDARD_CHIBA_CONFIGS:
+        if labels is not None and config.label not in labels:
+            continue
+        out[config.label] = get_run(config, app, scale)
+    return out
+
+
+def clear_cache() -> None:
+    """Drop memoised runs (tests that tweak globals use this)."""
+    _cache.clear()

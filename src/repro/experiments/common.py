@@ -1,0 +1,132 @@
+"""Shared experiment configuration and run machinery.
+
+The Chiba-City experiments (§5.2/§5.3) all run LU or Sweep3D on a
+128-node slice under a handful of configurations that differ in
+placement, pinning, irq-balancing, anomaly injection, and instrumentation
+build.  :class:`ChibaConfig` captures one such configuration;
+:func:`run_chiba_app` builds the cluster, launches, runs, and harvests.
+
+**Scaling.** The paper's runs take hundreds of wall seconds per
+configuration on real hardware; the bench-scale parameters below shrink
+per-iteration compute and message sizes while preserving structure
+(compute/communication ratio, message counts, wavefront shape).
+EXPERIMENTS.md records the scale factor next to every paper-vs-measured
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.analysis.profiles import JobData, harvest_job
+from repro.cluster.launch import block_placement, launch_mpi_job
+from repro.cluster.machines import make_chiba
+from repro.core.config import KtauBuildConfig
+from repro.core.points import Group
+from repro.sim.units import MSEC
+from repro.workloads.lu import LuParams, lu_app
+from repro.workloads.sweep3d import Sweep3dParams, sweep3d_app
+
+
+@dataclass(frozen=True)
+class ChibaConfig:
+    """One §5.2-style run configuration.
+
+    ``anomaly`` puts the node that hosts ranks 61 and 125 (node 61 under
+    the era's cyclic placement) into the single-detected-CPU fault state
+    of ccn10.
+    """
+
+    label: str
+    nranks: int = 128
+    procs_per_node: int = 1
+    pin: bool = False
+    cpu_offset: int = 0  # shift of the slot→CPU mapping (Fig 9's control)
+    irq_balance: bool = False
+    irq_target_cpu: int = 0  # IRQ CPU when balancing is off
+    anomaly: bool = False
+    seed: int = 1
+    ktau: KtauBuildConfig = field(default_factory=KtauBuildConfig)
+    enabled_groups: Optional[frozenset[Group]] = None  # None = all compiled
+    tau_enabled: bool = True
+    tau_tracing: bool = False
+
+    def with_seed(self, seed: int) -> "ChibaConfig":
+        return replace(self, seed=seed)
+
+
+#: The node index hosting ranks 61 and 125 under cyclic 2-per-node
+#: placement of 128 ranks on 64 nodes (the paper's ccn10).
+ANOMALY_NODE = 61
+
+#: The five configurations of Figures 5/6 and Table 2.
+STANDARD_CHIBA_CONFIGS: tuple[ChibaConfig, ...] = (
+    ChibaConfig(label="128x1", procs_per_node=1),
+    ChibaConfig(label="64x2 Anomaly", procs_per_node=2, anomaly=True),
+    ChibaConfig(label="64x2", procs_per_node=2),
+    ChibaConfig(label="64x2 Pinned", procs_per_node=2, pin=True),
+    ChibaConfig(label="64x2 Pin,I-Bal", procs_per_node=2, pin=True,
+                irq_balance=True),
+)
+
+
+def bench_lu_params(scale: float = 1.0) -> LuParams:
+    """Bench-scale LU parameters, calibrated so the five-configuration
+    sweep reproduces Table 2's ordering and rough factors (see module
+    docstring on scaling).  ``scale`` shrinks compute and message volume
+    together for quick tests."""
+    params = LuParams(niters=8, iter_compute_ns=200 * MSEC,
+                      halo_bytes=131_072, sweep_msg_bytes=4_096,
+                      inorm=4, pipeline_fill_frac=0.02)
+    return params.scaled(scale) if scale != 1.0 else params
+
+
+def bench_sweep_params(scale: float = 1.0) -> Sweep3dParams:
+    """Bench-scale Sweep3D parameters (same calibration philosophy)."""
+    params = Sweep3dParams(niters=3, octant_compute_ns=80 * MSEC,
+                           face_bytes=4_096, pipeline_fill_frac=0.01)
+    return params.scaled(scale) if scale != 1.0 else params
+
+
+def run_chiba_app(config: ChibaConfig, app_name: str, params,
+                  limit_s: float = 3600.0) -> JobData:
+    """Run one application under one configuration and harvest it.
+
+    ``app_name`` is ``"lu"`` or ``"sweep3d"``; ``params`` the matching
+    parameter dataclass.
+    """
+    nnodes_used = config.nranks // config.procs_per_node
+    anomaly_nodes = (ANOMALY_NODE,) if config.anomaly else ()
+    if config.anomaly and config.procs_per_node == 1:
+        raise ValueError("the anomaly experiment is a 2-per-node configuration")
+    tweak = None
+    if config.irq_target_cpu:
+        def tweak(_i, params):
+            return params.with_(irq_target_cpu=config.irq_target_cpu)
+    cluster = make_chiba(nnodes=nnodes_used, seed=config.seed,
+                         irq_balance=config.irq_balance,
+                         anomaly_nodes=anomaly_nodes, ktau=config.ktau,
+                         tweak=tweak)
+    if config.enabled_groups is not None:
+        for node in cluster.nodes:
+            node.kernel.ktau.control.disable_all()
+            node.kernel.ktau.control.enable(*config.enabled_groups)
+
+    if app_name == "lu":
+        app = lu_app(params)
+    elif app_name == "sweep3d":
+        app = sweep3d_app(params)
+    else:
+        raise ValueError(f"unknown app {app_name!r}")
+
+    job = launch_mpi_job(
+        cluster, config.nranks, app,
+        placement=block_placement(config.procs_per_node, config.nranks),
+        pin=config.pin, cpu_offset=config.cpu_offset,
+        tau_enabled=config.tau_enabled,
+        tau_tracing=config.tau_tracing, comm_prefix=app_name)
+    job.run(limit_s=limit_s)
+    data = harvest_job(job)
+    cluster.teardown()
+    return data

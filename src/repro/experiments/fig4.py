@@ -1,0 +1,64 @@
+"""Figure 4: MPI_Recv's kernel call groups — mean vs ranks 125 and 61.
+
+The merged profile shows which kernel routine groups were active during
+``MPI_Recv`` execution.  On average, most of MPI_Recv is scheduling
+(ranks block waiting for messages); the two anomaly-node ranks show
+comparatively less scheduling inside MPI_Recv because they spend their
+time computing (and preempting each other) instead of waiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.profiles import JobData
+from repro.tau.merge import kernel_callgroups_in_context
+
+CONTEXT = "MPI_Recv()"
+
+
+@dataclass
+class Fig4Result:
+    """Per-group kernel seconds inside MPI_Recv."""
+
+    mean_by_group: dict[str, float]
+    rank125_by_group: dict[str, float]
+    rank61_by_group: dict[str, float]
+
+
+def _callgroup_seconds(data: JobData, rank: int) -> dict[str, float]:
+    rd = data.ranks[rank]
+    if rd.kprofile is None:
+        return {}
+    groups = kernel_callgroups_in_context(rd.kprofile, CONTEXT)
+    return {g: cycles / rd.hz for g, (_calls, cycles) in groups.items()}
+
+
+def build(data: JobData, special_ranks: tuple[int, int] = (125, 61)) -> Fig4Result:
+    """Build Figure 4 (mean vs the two anomaly-node ranks)."""
+    all_groups: dict[str, float] = {}
+    for rank in range(len(data.ranks)):
+        for group, secs in _callgroup_seconds(data, rank).items():
+            all_groups[group] = all_groups.get(group, 0.0) + secs
+    n = len(data.ranks)
+    mean = {g: v / n for g, v in all_groups.items()}
+    return Fig4Result(
+        mean_by_group=mean,
+        rank125_by_group=_callgroup_seconds(data, special_ranks[0]),
+        rank61_by_group=_callgroup_seconds(data, special_ranks[1]),
+    )
+
+
+def render(result: Fig4Result) -> str:
+    """Render the call-group table."""
+    from repro.analysis.render import ascii_table
+
+    groups = sorted(set(result.mean_by_group) | set(result.rank125_by_group)
+                    | set(result.rank61_by_group))
+    rows = [(g,
+             result.mean_by_group.get(g, 0.0),
+             result.rank125_by_group.get(g, 0.0),
+             result.rank61_by_group.get(g, 0.0)) for g in groups]
+    return ascii_table(("kernel group", "mean (s)", "rank 125 (s)", "rank 61 (s)"),
+                       rows, floatfmt=".4f",
+                       title="Figure 4: MPI_Recv kernel call groups")

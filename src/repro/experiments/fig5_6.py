@@ -1,0 +1,57 @@
+"""Figures 5 and 6: CDFs of voluntary and involuntary scheduling time.
+
+Five configurations of NPB LU (128x1, 64x2 variants).  The paper's
+signature shapes:
+
+* **Figure 5 (voluntary)** — the anomaly run pushes most ranks *up*
+  (waiting for the slow node) while a small proportion of ranks — those
+  on the faulty node — sit at the bottom with very low voluntary time.
+* **Figure 6 (involuntary)** — the same two ranks dominate preemption in
+  the anomaly run; pinning pushes the whole distribution down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.cdf import cdf_points
+from repro.analysis.profiles import JobData
+
+
+@dataclass
+class SchedCdfResult:
+    """One CDF series per configuration label."""
+
+    kind: str  # "voluntary" | "involuntary"
+    #: label -> (sorted per-rank seconds, cumulative fraction)
+    series: dict[str, tuple[np.ndarray, np.ndarray]]
+    values: dict[str, list[float]]
+
+
+def _values(data: JobData, kind: str) -> list[float]:
+    if kind == "voluntary":
+        return [r.voluntary_sched_s() for r in data.ranks]
+    if kind == "involuntary":
+        return [r.involuntary_sched_s() for r in data.ranks]
+    raise ValueError(kind)
+
+
+def build(runs: dict[str, JobData], kind: str) -> SchedCdfResult:
+    """Build the Figure 5 (voluntary) or Figure 6 (involuntary) CDFs."""
+    values = {label: _values(data, kind) for label, data in runs.items()}
+    series = {label: cdf_points(vals) for label, vals in values.items()}
+    return SchedCdfResult(kind=kind, series=series, values=values)
+
+
+def render(result: SchedCdfResult) -> str:
+    """Render each configuration's CDF as a sparkline."""
+    from repro.analysis.render import cdf_sparkline
+
+    fig = "Figure 5" if result.kind == "voluntary" else "Figure 6"
+    lines = [f"{fig}: {result.kind} scheduling per rank (CDF)"]
+    for label, (xs, fracs) in result.series.items():
+        lines.append(f"  {label:16s} {cdf_sparkline(xs, fracs)}  "
+                     f"med={np.median(xs):.4f}s max={xs[-1]:.4f}s")
+    return "\n".join(lines) + "\n"

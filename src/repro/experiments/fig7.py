@@ -1,0 +1,52 @@
+"""Figure 7: OS activity of every process on the faulty node (ccn10).
+
+The view that killed the daemon hypothesis: each bar is one process that
+was active on the anomaly node during the LU run; the two LU tasks
+dominate and every daemon/kernel thread is minuscule — so the observed
+preemption could only be the LU tasks preempting *each other*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.profiles import JobData
+from repro.analysis.views import node_process_view
+from repro.experiments.common import ANOMALY_NODE
+
+
+@dataclass
+class Fig7Result:
+    node: str
+    #: pid -> (comm, total kernel-context seconds)
+    processes: dict[int, tuple[str, float]]
+    lu_pids: list[int]
+
+    def daemon_max_s(self) -> float:
+        others = [t for pid, (_c, t) in self.processes.items()
+                  if pid not in self.lu_pids and pid != 0]
+        return max(others, default=0.0)
+
+    def lu_min_s(self) -> float:
+        return min((self.processes[p][1] for p in self.lu_pids), default=0.0)
+
+
+def build(data: JobData, node_name: str | None = None) -> Fig7Result:
+    """Build Figure 7 for the (by default anomaly) node."""
+    if node_name is None:
+        node_name = f"ccn{ANOMALY_NODE:03d}"
+    profiles = data.node_profiles[node_name]
+    hz = data.ranks[0].hz
+    view = node_process_view(profiles, hz, data.node_comms.get(node_name))
+    lu_pids = [r.pid for r in data.ranks if r.node == node_name]
+    return Fig7Result(node=node_name, processes=view, lu_pids=lu_pids)
+
+
+def render(result: Fig7Result) -> str:
+    """Render the per-process activity bars."""
+    from repro.analysis.render import ascii_bargraph
+
+    rows = sorted(((f"{comm}({pid})", t)
+                   for pid, (comm, t) in result.processes.items()),
+                  key=lambda kv: -kv[1])
+    return ascii_bargraph(rows, title=f"Figure 7: OS activity on {result.node}")

@@ -1,0 +1,48 @@
+"""Figure 8: CDF of per-rank interrupt activity.
+
+Without irq-balancing every device interrupt is serviced by CPU0, so in
+the pinned 64x2 run the ranks pinned to CPU0 absorb (nearly) all
+interrupt-context time while CPU1's ranks absorb almost none — a
+prominent bimodal distribution.  Enabling irq-balancing (or running one
+rank per node) flattens it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.cdf import bimodality_gap, cdf_points
+from repro.analysis.profiles import JobData
+
+
+@dataclass
+class Fig8Result:
+    #: label -> (sorted per-rank interrupt seconds, cumulative fraction)
+    series: dict[str, tuple[np.ndarray, np.ndarray]]
+    values: dict[str, list[float]]
+    bimodality: dict[str, float]
+
+
+def build(runs: dict[str, JobData]) -> Fig8Result:
+    """Build Figure 8's interrupt-activity CDFs."""
+    values = {label: [r.interrupt_activity_s() for r in data.ranks]
+              for label, data in runs.items()}
+    return Fig8Result(
+        series={label: cdf_points(vals) for label, vals in values.items()},
+        values=values,
+        bimodality={label: bimodality_gap(vals) for label, vals in values.items()},
+    )
+
+
+def render(result: Fig8Result) -> str:
+    """Render each configuration's CDF with its bimodality score."""
+    from repro.analysis.render import cdf_sparkline
+
+    lines = ["Figure 8: interrupt activity per rank (CDF)"]
+    for label, (xs, fracs) in result.series.items():
+        lines.append(f"  {label:16s} {cdf_sparkline(xs, fracs)}  "
+                     f"med={np.median(xs)*1e3:.2f}ms "
+                     f"bimodality={result.bimodality[label]:.2f}")
+    return "\n".join(lines) + "\n"

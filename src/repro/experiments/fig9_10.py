@@ -1,0 +1,105 @@
+"""Figures 9 and 10: Sweep3D kernel TCP behaviour.
+
+**Figure 9** — number of kernel-level TCP calls whose user context was
+the *compute-bound* section of ``sweep()`` (no MPI timer active), per
+rank, as a CDF.  Larger counts mean receive processing is landing in the
+middle of computation — communication/computation mixing, an imbalance
+indicator.  The 64x2 configuration mixes far more than 128x1; pinning
+the 128x1 process *and* its interrupts to CPU1 tracks plain 128x1,
+showing the spare processor is not what absorbs the TCP work.
+
+**Figure 10** — mean kernel time per TCP receive operation per rank (the
+per-flow receive-processing cost).  The 64x2 configuration is ~11.5 %
+more expensive across the whole range: with two busy CPUs, packets are
+regularly processed on a different CPU than their consumer, paying the
+SMP cache penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.cdf import cdf_points, median
+from repro.analysis.profiles import JobData
+from repro.core.points import TCP_CALL_POINTS
+from repro.experiments.common import ChibaConfig
+from repro.tau.merge import kernel_events_in_context
+
+SWEEP_CONTEXT = "sweep()"
+
+#: The three configurations Figures 9/10 compare.
+FIG9_CONFIGS: tuple[ChibaConfig, ...] = (
+    ChibaConfig(label="128x1", procs_per_node=1),
+    ChibaConfig(label="128x1 Pin,IRQ CPU1", procs_per_node=1, pin=True,
+                cpu_offset=1, irq_target_cpu=1),
+    ChibaConfig(label="64x2 Pinned,I-Bal", procs_per_node=2, pin=True,
+                irq_balance=True),
+)
+
+
+@dataclass
+class Fig9Result:
+    #: label -> per-rank count of TCP calls inside the compute phase
+    values: dict[str, list[int]]
+    series: dict[str, tuple[np.ndarray, np.ndarray]]
+
+
+@dataclass
+class Fig10Result:
+    #: label -> per-rank mean microseconds per kernel TCP receive op
+    values: dict[str, list[float]]
+    series: dict[str, tuple[np.ndarray, np.ndarray]]
+
+    def median_us(self, label: str) -> float:
+        return median(self.values[label])
+
+
+def tcp_calls_in_compute(data: JobData, rank: int) -> int:
+    """Kernel TCP calls whose user context was the sweep compute phase."""
+    rd = data.ranks[rank]
+    if rd.kprofile is None:
+        return 0
+    calls, _cycles = kernel_events_in_context(rd.kprofile, SWEEP_CONTEXT,
+                                              TCP_CALL_POINTS)
+    return calls
+
+
+def build_fig9(runs: dict[str, JobData]) -> Fig9Result:
+    """Build Figure 9 (TCP calls inside compute, per rank)."""
+    values = {label: [tcp_calls_in_compute(data, r)
+                      for r in range(len(data.ranks))]
+              for label, data in runs.items()}
+    return Fig9Result(values=values,
+                      series={l: cdf_points(v) for l, v in values.items()})
+
+
+def build_fig10(runs: dict[str, JobData]) -> Fig10Result:
+    """Build Figure 10 (per-flow receive cost per TCP call)."""
+    values = {label: [r.flow_rx_per_call_us() for r in data.ranks]
+              for label, data in runs.items()}
+    return Fig10Result(values=values,
+                       series={l: cdf_points(v) for l, v in values.items()})
+
+
+def render_fig9(result: Fig9Result) -> str:
+    """Render Figure 9's CDFs."""
+    from repro.analysis.render import cdf_sparkline
+
+    lines = ["Figure 9: kernel TCP calls inside Sweep3D compute (CDF)"]
+    for label, (xs, fracs) in result.series.items():
+        lines.append(f"  {label:20s} {cdf_sparkline(xs, fracs)} "
+                     f"med={np.median(xs):.0f} calls")
+    return "\n".join(lines) + "\n"
+
+
+def render_fig10(result: Fig10Result) -> str:
+    """Render Figure 10's CDFs."""
+    from repro.analysis.render import cdf_sparkline
+
+    lines = ["Figure 10: exclusive time per kernel TCP call (CDF, us)"]
+    for label, (xs, fracs) in result.series.items():
+        lines.append(f"  {label:20s} {cdf_sparkline(xs, fracs)} "
+                     f"med={np.median(xs):.2f}us")
+    return "\n".join(lines) + "\n"

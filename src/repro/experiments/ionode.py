@@ -1,0 +1,108 @@
+"""The I/O-node scaling experiment (extension, §6 / ZeptoOS direction).
+
+``nclients`` compute nodes stream write requests through one I/O node.
+The harness measures per-client request latency and, through KTAU on the
+I/O node, where that node's kernel time goes (network receive vs block
+I/O vs scheduling) — the integrated view the BG/L I/O-node evaluation
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.views import group_breakdown
+from repro.cluster.machines import make_chiba
+from repro.core.libktau import LibKtau
+from repro.kernel.block import BlockDevice
+from repro.tau.profiler import TauProfiler
+from repro.workloads.ionode import (ClientStats, IoNodeParams, ciod_service,
+                                    client_program)
+
+
+@dataclass
+class IoNodeResult:
+    nclients: int
+    exec_time_s: float
+    client_stats: list[ClientStats]
+    #: KTAU group breakdown (seconds) summed over the ciod service tasks
+    ciod_groups: dict[str, float] = field(default_factory=dict)
+    disk_bytes: int = 0
+    disk_requests: int = 0
+
+    def mean_latency_ms(self) -> float:
+        lats = [s.mean_ms() for s in self.client_stats if s.latencies_ns]
+        return sum(lats) / len(lats) if lats else float("nan")
+
+
+def run_ionode(nclients: int = 4, params: IoNodeParams | None = None,
+               seed: int = 1) -> IoNodeResult:
+    """Run the scenario: clients on their own nodes, ciod on the I/O node."""
+    if params is None:
+        params = IoNodeParams()
+    cluster = make_chiba(nnodes=nclients + 1, seed=seed)
+    ionode = cluster.nodes[0]
+    disk = BlockDevice(ionode.kernel)
+
+    tasks = []
+    stats: list[ClientStats] = []
+    for index in range(nclients):
+        compute_node = cluster.nodes[1 + index]
+        to_ionode = cluster.network.connect(
+            compute_node.kernel, ionode.kernel, ("io-req", index))
+        from_ionode = cluster.network.connect(
+            ionode.kernel, compute_node.kernel, ("io-ack", index))
+        client_stat = ClientStats()
+        stats.append(client_stat)
+        client = compute_node.kernel.spawn(
+            client_program(params, to_ionode, from_ionode, client_stat),
+            f"app.{index}")
+        client.tau = TauProfiler(client, rank=index)
+        service = ionode.kernel.spawn(
+            ciod_service(params, to_ionode, from_ionode, disk),
+            f"ciod.{index}")
+        tasks.extend([client, service])
+
+    start = cluster.engine.now
+    cluster.run_until_complete(tasks)
+    exec_time_s = (cluster.engine.now - start) / 1e9
+
+    lib = LibKtau(ionode.kernel.ktau_proc)
+    profiles = lib.read_profiles(include_zombies=True)
+    groups: dict[str, float] = {}
+    hz = ionode.kernel.clock.hz
+    for dump in profiles.values():
+        if not dump.comm.startswith("ciod"):
+            continue
+        for group, seconds in group_breakdown(dump, hz).items():
+            groups[group] = groups.get(group, 0.0) + seconds
+    result = IoNodeResult(nclients=nclients, exec_time_s=exec_time_s,
+                          client_stats=stats, ciod_groups=groups,
+                          disk_bytes=disk.bytes_written,
+                          disk_requests=disk.requests_completed)
+    cluster.teardown()
+    return result
+
+
+def scaling_sweep(client_counts=(1, 2, 4, 8), params: IoNodeParams | None = None,
+                  seed: int = 1) -> list[IoNodeResult]:
+    """Run the scenario at several client counts."""
+    return [run_ionode(n, params, seed) for n in client_counts]
+
+
+def render(results: list[IoNodeResult]) -> str:
+    """Render the scaling table."""
+    from repro.analysis.render import ascii_table
+
+    rows = []
+    for r in results:
+        rows.append((r.nclients, r.exec_time_s, r.mean_latency_ms(),
+                     r.ciod_groups.get("net", 0.0) * 1e3,
+                     (r.ciod_groups.get("io", 0.0)
+                      + r.ciod_groups.get("syscall", 0.0)) * 1e3,
+                     r.ciod_groups.get("sched", 0.0)))
+    return ascii_table(
+        ("clients", "exec (s)", "lat (ms)", "ciod net (ms)",
+         "ciod io+sys (ms)", "ciod wait (s)"),
+        rows, floatfmt=".3f",
+        title="I/O-node scaling (extension experiment, ZeptoOS direction)")

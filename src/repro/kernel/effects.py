@@ -1,0 +1,112 @@
+"""Effects: the vocabulary task generators speak to the kernel.
+
+A simulated process is a Python generator.  It *yields* effect objects and
+receives results back through ``send``; the CPU executor interprets the
+effects.  User code may yield :class:`Compute`, :class:`Syscall`, and
+:class:`Exit`; kernel-mode handlers (themselves generators pushed onto the
+task's frame stack by a syscall) may additionally yield :class:`KCompute`
+and :class:`Block`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.kernel.waitqueue import WaitQueue
+
+
+class Effect:
+    """Base class for everything a task generator can yield."""
+
+    __slots__ = ()
+
+
+class Compute(Effect):
+    """Burn ``ns`` nanoseconds of user-mode CPU (preemptible)."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: int):
+        if ns < 0:
+            raise ValueError("negative compute duration")
+        self.ns = int(ns)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Compute({self.ns})"
+
+
+class KCompute(Effect):
+    """Burn ``ns`` nanoseconds of kernel-mode CPU (inside a handler)."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: int):
+        if ns < 0:
+            raise ValueError("negative kernel compute duration")
+        self.ns = int(ns)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"KCompute({self.ns})"
+
+
+class Syscall(Effect):
+    """Trap into the kernel: dispatch handler ``name`` with ``args``.
+
+    The handler's return value becomes the value of the ``yield``.
+    """
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Optional[dict[str, Any]] = None):
+        self.name = name
+        self.args = args or {}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Syscall({self.name}, {self.args})"
+
+
+class Block(Effect):
+    """Sleep on a wait queue until woken (kernel handlers only).
+
+    ``timeout_ns`` arms a timer that wakes the task with result ``None``
+    if nothing else does first; a normal wake delivers the waker's value.
+    """
+
+    __slots__ = ("waitq", "timeout_ns")
+
+    def __init__(self, waitq: WaitQueue, timeout_ns: Optional[int] = None):
+        self.waitq = waitq
+        self.timeout_ns = timeout_ns
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Block({self.waitq.name!r}, timeout={self.timeout_ns})"
+
+
+class Exit(Effect):
+    """Terminate the task with ``code``."""
+
+    __slots__ = ("code",)
+
+    def __init__(self, code: int = 0):
+        self.code = code
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Exit({self.code})"
+
+
+class Migrate(Effect):
+    """Change the calling task's CPU affinity (kernel handlers only).
+
+    Affinity changes for the *running* task must be applied by the
+    executor while the task's generator is suspended — applying them from
+    inside a syscall handler would re-enter the generator through the
+    migration reschedule.
+    """
+
+    __slots__ = ("cpus",)
+
+    def __init__(self, cpus: set[int]):
+        self.cpus = set(cpus)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Migrate({sorted(self.cpus)})"

@@ -1,0 +1,140 @@
+"""Hard IRQs, softirqs (bottom halves), and asynchronous kernel work.
+
+Interrupt-context work is modelled as a *span tree*: a nested structure of
+named, costed kernel routines (e.g. ``do_IRQ { eth_interrupt } do_softirq {
+net_rx_action { tcp_v4_rcv ... } }``).  Delivering a tree to a CPU:
+
+1. picks the target context — the task currently running there, or the
+   node's idle task (``swapper``) when the CPU is idle; this is exactly
+   KTAU's process-centric attribution of interrupt work to whatever
+   process context it happens to run in;
+2. records KTAU entry/exit events for every span with explicit timestamps
+   (the whole sequence is computed synchronously at delivery time);
+3. *stretches* whatever the CPU was executing by the tree's total cost
+   plus the measurement overhead the recording charged — the mechanism by
+   which interrupt load (and instrumentation perturbation) delays
+   application progress.
+
+IRQ routing implements the paper's two regimes: everything to CPU0 (the
+Chiba default, source of Figure 8's bimodal interrupt distribution) or
+flow-hash balancing across online CPUs (``irq_balance`` enabled).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.task import Task
+
+
+class KSpan:
+    """A costed, nested kernel routine for interrupt-context execution.
+
+    ``cost_ns`` is this routine's *own* (exclusive) work; children execute
+    after it, inside the routine.  ``atomics`` are (point-name, value)
+    pairs fired just before the routine exits.
+    """
+
+    __slots__ = ("name", "cost_ns", "children", "atomics")
+
+    def __init__(self, name: str, cost_ns: int,
+                 children: Optional[list["KSpan"]] = None,
+                 atomics: Optional[list[tuple[str, int]]] = None):
+        self.name = name
+        self.cost_ns = int(cost_ns)
+        self.children = children or []
+        self.atomics = atomics or []
+
+    def total_ns(self) -> int:
+        """Inclusive duration of the tree."""
+        return self.cost_ns + sum(c.total_ns() for c in self.children)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"KSpan({self.name}, {self.cost_ns}ns, {len(self.children)} children)"
+
+
+class IrqController:
+    """Per-node interrupt delivery and routing."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self._rng = kernel.rng_hub.stream(f"irq.{kernel.name}")
+        #: cumulative per-CPU hard-IRQ count (diagnostics / procfs)
+        self.irq_counts: list[int] = [0] * kernel.params.online_cpus
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, flow_hash: Optional[int] = None) -> int:
+        """CPU that services the next device interrupt.
+
+        Without irq-balancing, every device IRQ goes to CPU0.  With
+        balancing, IRQs are spread by flow hash so a given connection's
+        interrupts consistently land on one CPU (the behaviour that makes
+        cache mismatch a per-connection property in Figure 10).
+        """
+        ncpus = self.kernel.params.online_cpus
+        if ncpus == 1:
+            return 0
+        if not self.kernel.params.irq_balance:
+            return min(self.kernel.params.irq_target_cpu, ncpus - 1)
+        if flow_hash is None:
+            return int(self._rng.integers(ncpus))
+        return flow_hash % ncpus
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def deliver(self, cpu_idx: int, trees: "KSpan | list[KSpan]",
+                count_irq: bool = True) -> int:
+        """Execute one or more span trees sequentially in interrupt context.
+
+        Returns the completion time (engine ns) so callers can schedule
+        follow-on actions (e.g. waking a socket reader) at the moment the
+        bottom half actually finishes.
+        """
+        if isinstance(trees, KSpan):
+            trees = [trees]
+        kernel = self.kernel
+        cpu = kernel.sched.cpus[cpu_idx]
+        target: "Task" = cpu.current if cpu.current is not None else kernel.swapper
+        data = target.ktau
+        now_ns = kernel.engine.now
+        if count_irq:
+            self.irq_counts[cpu_idx] += 1
+
+        if data is not None:
+            before = data.pending_overhead_ns
+            t = kernel.clock.cycles_at(now_ns)
+            for tree in trees:
+                t = self._record(data, tree, t)
+            overhead_ns = data.pending_overhead_ns - before
+            # Interrupt-context measurement cost is paid immediately (it
+            # extends the interrupt, not the task's next burst).
+            data.pending_overhead_ns = before
+        else:  # unpatched (vanilla) kernel: no recording, no overhead
+            overhead_ns = 0
+
+        total = sum(tree.total_ns() for tree in trees) + overhead_ns
+        if cpu.current is not None:
+            kernel.sched.stretch(cpu_idx, total)
+        return now_ns + total
+
+    def _record(self, data, tree: KSpan, t_cycles: int) -> int:
+        """Record KTAU events for ``tree`` starting at ``t_cycles``.
+
+        Returns the end timestamp in cycles.  Own cost is charged before
+        children, so exclusive time per span equals its ``cost_ns``.
+        """
+        kernel = self.kernel
+        point = kernel.point(tree.name)
+        kernel.ktau.entry(data, point, at_cycles=t_cycles)
+        t = t_cycles + kernel.clock.cycles_for_ns(tree.cost_ns)
+        for child in tree.children:
+            t = self._record(data, child, t)
+        for atomic_name, value in tree.atomics:
+            kernel.ktau.atomic(data, kernel.atomic_point(atomic_name), value, at_cycles=t)
+        kernel.ktau.exit(data, point, at_cycles=t)
+        return t

@@ -1,0 +1,91 @@
+"""TCP path cost model and span-tree builders.
+
+The receive path for a frame group of *k* segments is::
+
+    do_IRQ { eth_interrupt }
+    do_softirq { net_rx_action { tcp_v4_rcv  x k  (+ pkt_rx atomics) } }
+
+``tcp_v4_rcv`` carries the per-segment receive cost, dilated by the cache
+mismatch factor when the servicing CPU differs from the consuming task's
+CPU — data received by the kernel on one CPU but destined for a thread on
+the other pays cross-CPU cache traffic (§5.2: "the dilation in TCP
+processing times seen in the 64x2 run is very likely cache related").
+
+The transmit path records, per segment, ``tcp_sendmsg { ip_queue_xmit {
+dev_queue_xmit } }`` nested inside the ``sys_writev``/``sock_sendmsg``
+syscall spans; the cost split keeps ``tcp_sendmsg`` the dominant exclusive
+component, matching kernel reality.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.kernel.irq import KSpan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.net.socket import StreamSocket
+    from repro.kernel.task import Task
+
+#: Fraction of the per-segment TX cost attributed to each routine.
+TX_SPLIT = (("tcp_sendmsg", 0.60), ("ip_queue_xmit", 0.23), ("dev_queue_xmit", 0.17))
+
+
+def rx_cost_ns(kernel: "Kernel", mismatch: bool) -> int:
+    """Per-segment receive-processing cost on ``kernel``'s CPUs."""
+    net = kernel.params.net
+    cost = net.tcp_rx_cost_ns
+    if mismatch:
+        cost = int(cost * net.cache_mismatch_factor)
+    return cost
+
+
+def build_rx_trees(kernel: "Kernel", sock: "StreamSocket", segments: list[int],
+                   irq_cpu: int) -> list[KSpan]:
+    """Interrupt-context span trees for an arriving frame group."""
+    net = kernel.params.net
+    mismatch = irq_cpu != sock.consumer_cpu
+    per_seg = rx_cost_ns(kernel, mismatch)
+    rcv_spans = [
+        KSpan("tcp_v4_rcv", per_seg, atomics=[("net.pkt_rx_bytes", seg)])
+        for seg in segments
+    ]
+    hard = KSpan("do_IRQ", net.irq_cost_ns, children=[KSpan("eth_interrupt", 1_000)])
+    soft = KSpan("do_softirq", net.softirq_dispatch_cost_ns,
+                 children=[KSpan("net_rx_action", 1_000, children=rcv_spans)])
+    return [hard, soft]
+
+
+def record_tx_spans(kernel: "Kernel", task: "Task", segments: list[int]) -> int:
+    """Record per-segment transmit spans for ``task``; returns total cost.
+
+    Timestamps are laid out explicitly over the burst the caller is about
+    to execute, so the sender-side kernel profile and trace show the real
+    nesting (``tcp_sendmsg`` under the open ``sock_sendmsg`` span) even
+    though the whole group is simulated as one kernel-compute burst.
+    """
+    data = task.ktau
+    net = kernel.params.net
+    total = 0
+    t = kernel.clock.read()
+    for seg in segments:
+        cost = net.tcp_tx_cost_ns
+        total += cost
+        if data is None:
+            continue
+        offsets = [(name, int(cost * frac)) for name, frac in TX_SPLIT]
+        # tcp_sendmsg { ip_queue_xmit { dev_queue_xmit } }
+        kernel.ktau.entry(data, kernel.point("tcp_sendmsg"), at_cycles=t)
+        t_inner = t + kernel.clock.cycles_for_ns(offsets[0][1])
+        kernel.ktau.entry(data, kernel.point("ip_queue_xmit"), at_cycles=t_inner)
+        t_inner2 = t_inner + kernel.clock.cycles_for_ns(offsets[1][1])
+        kernel.ktau.entry(data, kernel.point("dev_queue_xmit"), at_cycles=t_inner2)
+        t_end = t + kernel.clock.cycles_for_ns(cost)
+        kernel.ktau.atomic(data, kernel.atomic_point("net.pkt_tx_bytes"), seg,
+                           at_cycles=t_end)
+        kernel.ktau.exit(data, kernel.point("dev_queue_xmit"), at_cycles=t_end)
+        kernel.ktau.exit(data, kernel.point("ip_queue_xmit"), at_cycles=t_end)
+        kernel.ktau.exit(data, kernel.point("tcp_sendmsg"), at_cycles=t_end)
+        t = t_end
+    return total

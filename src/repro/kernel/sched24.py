@@ -1,0 +1,198 @@
+"""The Linux 2.4 scheduler (KTAU "supports the Linux 2.4 and 2.6 kernels").
+
+The 2.4 scheduler differs structurally from the 2.6 O(1) design the base
+:class:`~repro.kernel.sched.Scheduler` models:
+
+* **one global runqueue** shared by all CPUs (guarded by the runqueue
+  lock in reality — the SMP scalability problem O(1) later fixed);
+* selection by **goodness()**: the remaining time *counter* plus a bonus
+  for running on the CPU the task last used (cache affinity);
+* **epochs**: when every runnable task has exhausted its counter, all
+  tasks — including sleepers — get ``counter = counter/2 + base``, which
+  is how 2.4 rewarded interactive sleepers;
+* no per-CPU balancing: an idle CPU simply takes the best runnable task.
+
+The paper's ``neuronic`` testbed ran a Redhat 2.4 kernel; the factory
+boots it with this policy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.kernel.sched import Cpu, Scheduler
+from repro.kernel.task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+
+
+class Scheduler24(Scheduler):
+    """Global-runqueue goodness scheduler (Linux 2.4 flavour)."""
+
+    #: cache-affinity bonus, as a fraction of a full timeslice
+    AFFINITY_BONUS = 0.1
+
+    def __init__(self, kernel: "Kernel"):
+        super().__init__(kernel)
+        #: the single global runqueue (per-CPU queues stay empty)
+        self.runqueue: deque[Task] = deque()
+
+    # ------------------------------------------------------------------
+    # goodness() and epochs
+    # ------------------------------------------------------------------
+    def goodness(self, task: Task, cpu: Cpu) -> float:
+        """2.4's selection weight: remaining counter + affinity bonus."""
+        if task.timeslice_ns <= 0:
+            return 0.0
+        weight = float(task.timeslice_ns)
+        if task.last_cpu == cpu.idx:
+            weight += self.AFFINITY_BONUS * self.params.timeslice_ns
+        return weight
+
+    def _recalculate_epoch(self) -> None:
+        """All runnable counters are spent: start a new epoch.
+
+        ``counter = counter/2 + base`` for *every* task — sleepers keep
+        half their unspent counter, accumulating priority (capped at
+        2x base, as the halving series converges).
+        """
+        base = self.params.timeslice_ns
+        for task in self.kernel.tasks.values():
+            if task.alive:
+                task.timeslice_ns = task.timeslice_ns // 2 + base
+        for cpu in self.cpus:
+            if cpu.current is not None and not cpu.current.is_idle:
+                cpu.current.timeslice_ns = cpu.current.timeslice_ns // 2 + base
+
+    def _runnable_counters_spent(self) -> bool:
+        if any(t.timeslice_ns > 0 for t in self.runqueue):
+            return False
+        return all(c.current is None or c.current.timeslice_ns <= 0
+                   for c in self.cpus)
+
+    # ------------------------------------------------------------------
+    # queueing policy overrides
+    # ------------------------------------------------------------------
+    def start_task(self, task: Task, start_cpu: Optional[int] = None) -> None:
+        if start_cpu is not None and start_cpu in task.cpus_allowed:
+            task.last_cpu = start_cpu
+        self._enqueue_global(task, allow_preempt=False)
+
+    def wake(self, task: Task) -> None:
+        if task.state is not TaskState.BLOCKED:
+            return
+        now = self.kernel.engine.now
+        if task.wake_handle is not None:
+            task.wake_handle.cancel()
+            task.wake_handle = None
+        task.blocked_on = None
+        slept = now - task.blocked_at
+        task.sleep_avg_ns = min(task.sleep_avg_ns + slept,
+                                self.params.sleep_avg_cap_ns)
+        task.send_value = task.wake_value
+        task.wake_value = None
+        self._enqueue_global(task, allow_preempt=True)
+
+    def _enqueue_global(self, task: Task, allow_preempt: bool) -> None:
+        task.state = TaskState.READY
+        self.runqueue.append(task)
+        # run on an idle allowed CPU immediately (prefer the last one)
+        idle = [c for c in self.cpus
+                if c.current is None and c.idx in task.cpus_allowed]
+        if idle:
+            best = min(idle, key=lambda c: (c.idx != task.last_cpu, c.idx))
+            self._cpu_reschedule(best)
+            return
+        if not allow_preempt:
+            return
+        # 2.4 wakeup preemption: kick the CPU whose runner has the lowest
+        # goodness if the woken task beats it
+        candidates = [c for c in self.cpus
+                      if c.idx in task.cpus_allowed and c.current is not None
+                      and not c.current.is_idle]
+        if not candidates:
+            return
+        victim = min(candidates, key=lambda c: self.goodness(c.current, c))
+        margin = self.params.wakeup_preempt_margin_ns
+        if (self.goodness(task, victim) > self.goodness(victim.current, victim)
+                + margin and task.sleep_avg_ns > victim.current.sleep_avg_ns):
+            self._deschedule(victim, voluntary=False, requeue=True)
+            self._cpu_reschedule(victim)
+
+    def _enqueue(self, task: Task, cpu_idx: int, allow_preempt: bool,
+                 front: bool = False) -> None:
+        # External paths (affinity migration) land here; route them into
+        # the global queue.
+        self._enqueue_global(task, allow_preempt=allow_preempt)
+
+    def _refill_slice_if_needed(self, task: Task) -> None:
+        # 2.4: counters refill only at epoch recalculation; a task picked
+        # with a zero counter (affinity-constrained corner) gets a token
+        # slice so it can run at all.
+        if task.timeslice_ns <= 0:
+            task.timeslice_ns = max(1, self.params.timeslice_ns // 100)
+
+    def _cpu_reschedule(self, cpu: Cpu) -> None:
+        if cpu.current is not None:
+            return
+        eligible = [t for t in self.runqueue if cpu.idx in t.cpus_allowed]
+        if not eligible:
+            if cpu.idle_since is None:
+                cpu.idle_since = self.kernel.engine.now
+            return
+        if all(t.timeslice_ns <= 0 for t in eligible) and \
+                self._runnable_counters_spent():
+            self._recalculate_epoch()
+        task = max(eligible, key=lambda t: self.goodness(t, cpu))
+        self.runqueue.remove(task)
+        self._run_task(cpu, task)
+
+    def _try_steal(self, cpu: Cpu) -> Optional[Task]:
+        return None  # no per-CPU queues to steal from
+
+    def tick_balance(self, cpu_idx: int) -> None:
+        cpu = self.cpus[cpu_idx]
+        if cpu.current is None and self.runqueue:
+            self._cpu_reschedule(cpu)
+
+    # ------------------------------------------------------------------
+    # base-class integration
+    # ------------------------------------------------------------------
+    def _deschedule(self, cpu: Cpu, voluntary: bool, requeue: bool,
+                    requeue_front: bool = False) -> None:
+        # The base implementation requeues onto cpu.runqueue; intercept by
+        # requeueing into the global queue afterwards.
+        task = cpu.current
+        super()._deschedule(cpu, voluntary, requeue=False)
+        if requeue and task is not None:
+            task.state = TaskState.READY
+            self.runqueue.append(task)
+
+    def _expiry_cb(self, cpu: Cpu):
+        def on_expiry() -> None:
+            cpu.expiry_handle = None
+            task = cpu.current
+            if task is None:
+                return
+            task.timeslice_ns = 0
+            others = [t for t in self.runqueue if cpu.idx in t.cpus_allowed]
+            if not others:
+                # nobody else: new counter via (possibly trivial) epoch
+                if self._runnable_counters_spent():
+                    self._recalculate_epoch()
+                if task.timeslice_ns <= 0:
+                    task.timeslice_ns = self.params.timeslice_ns
+                self._arm_expiry(cpu)
+                return
+            self._deschedule(cpu, voluntary=False, requeue=True)
+            self._cpu_reschedule(cpu)
+        return on_expiry
+
+    def kill_blocked(self, task: Task) -> None:
+        try:
+            self.runqueue.remove(task)
+        except ValueError:
+            pass
+        super().kill_blocked(task)

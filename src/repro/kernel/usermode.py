@@ -1,0 +1,69 @@
+"""The user-mode programming interface for simulated processes.
+
+A process behaviour is a generator function taking a :class:`UserContext`.
+The context provides composable helper coroutines (``yield from
+ctx.compute(...)``, ``value = yield from ctx.syscall(...)``) so workload
+code reads like a program rather than raw effect plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.kernel.effects import Compute, Exit, Syscall
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.task import Task
+
+
+class UserContext:
+    """Handle a simulated process uses to interact with its world."""
+
+    __slots__ = ("kernel", "task", "node", "mpi")
+
+    def __init__(self, kernel: "Kernel", task: "Task"):
+        self.kernel = kernel
+        self.task = task
+        self.node = None  # set by the cluster layer
+        self.mpi = None  # set by the MPI launcher for ranks
+
+    # -- time ---------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current engine time in ns (a simulation-side peek, not a syscall)."""
+        return self.kernel.engine.now
+
+    def read_tsc(self) -> int:
+        """Read the node TSC (what TAU's timers do in user space)."""
+        return self.kernel.clock.read()
+
+    # -- effects --------------------------------------------------------
+    def compute(self, ns: int):
+        """Burn ``ns`` of user-mode CPU."""
+        yield Compute(ns)
+
+    def syscall(self, name: str, **args: Any):
+        """Invoke a system call and return its result."""
+        result = yield Syscall(name, args)
+        return result
+
+    def sleep(self, ns: int):
+        """Sleep via ``sys_nanosleep``."""
+        yield Syscall("sys_nanosleep", {"ns": ns})
+
+    def gettimeofday(self):
+        """Wall time in microseconds via ``sys_gettimeofday``."""
+        result = yield Syscall("sys_gettimeofday", {})
+        return result
+
+    def set_affinity(self, cpus: set[int]):
+        """Pin this process via ``sys_sched_setaffinity``."""
+        yield Syscall("sys_sched_setaffinity", {"cpus": set(cpus)})
+
+    def exit(self, code: int = 0):
+        """Terminate the process."""
+        yield Exit(code)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<UserContext pid={self.task.pid} comm={self.task.comm!r}>"

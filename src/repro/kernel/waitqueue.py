@@ -1,0 +1,66 @@
+"""Kernel wait queues.
+
+The blocking primitive everything sleeps on: sockets, pipes, timers, the
+scheduler's sleep path.  A task blocked on a queue is woken with a value
+that becomes the result of its :class:`~repro.kernel.effects.Block` yield.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.task import Task
+
+
+class WaitQueue:
+    """FIFO queue of sleeping tasks."""
+
+    __slots__ = ("name", "_waiters")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._waiters: deque["Task"] = deque()
+
+    def add(self, task: "Task") -> None:
+        self._waiters.append(task)
+
+    def remove(self, task: "Task") -> bool:
+        """Remove ``task`` if present (used by timeout wakeups)."""
+        try:
+            self._waiters.remove(task)
+            return True
+        except ValueError:
+            return False
+
+    def wake_one(self, value: Any = None) -> Optional["Task"]:
+        """Pop the first waiter and mark it runnable; returns it (or None).
+
+        The caller (scheduler-owning code) is responsible for actually
+        enqueueing the task; this keeps the queue free of scheduler
+        dependencies.  In practice callers go through
+        :meth:`repro.kernel.sched.Scheduler.wake`.
+        """
+        if not self._waiters:
+            return None
+        task = self._waiters.popleft()
+        task.wake_value = value
+        return task
+
+    def wake_all(self, value: Any = None) -> list["Task"]:
+        woken = []
+        while self._waiters:
+            task = self._waiters.popleft()
+            task.wake_value = value
+            woken.append(task)
+        return woken
+
+    def __len__(self) -> int:
+        return len(self._waiters)
+
+    def __contains__(self, task: "Task") -> bool:
+        return task in self._waiters
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<WaitQueue {self.name!r} waiters={len(self._waiters)}>"

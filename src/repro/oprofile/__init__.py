@@ -1,0 +1,30 @@
+"""An OProfile-like statistical sampling profiler (baseline comparator).
+
+Table 1 positions KTAU against sampling tools: OProfile is "meant to be
+a continuous profiler for Linux", but has "an inability to provide
+online information (as it performs a type of partial tracing) and the
+requirement of a daemon", with further "issues stemming from the
+inaccuracy of sampling based profiles" (§2).
+
+This package implements that baseline on the simulated kernel so the
+claims are measurable rather than rhetorical:
+
+* :class:`~repro.oprofile.sampler.OProfileSampler` — a periodic
+  profiling interrupt per CPU that records the interrupted context
+  (task + innermost kernel event or user routine) into a per-CPU sample
+  buffer;
+* :class:`~repro.oprofile.sampler.OProfileDaemon` — the ``oprofiled``
+  stand-in that periodically drains the buffers (and perturbs the node
+  doing so);
+* :mod:`repro.oprofile.compare` — flat-profile reconstruction from
+  samples and quantitative comparison against KTAU's direct measurement
+  (where sampling is accurate, where it misses short events, and what it
+  structurally cannot see: time spent blocked).
+"""
+
+from repro.oprofile.sampler import OProfileDaemon, OProfileSampler, Sample
+from repro.oprofile.compare import (estimated_flat_profile,
+                                    compare_with_ktau, ComparisonRow)
+
+__all__ = ["OProfileSampler", "OProfileDaemon", "Sample",
+           "estimated_flat_profile", "compare_with_ktau", "ComparisonRow"]

@@ -1,0 +1,97 @@
+"""Sampling vs direct measurement: the quantitative comparison.
+
+Reconstructs a flat profile from samples (``estimated seconds = samples
+x period``) and compares it against KTAU's exact per-event exclusive
+times, exposing the three structural limits §2 attributes to sampling:
+
+1. **on-CPU accuracy is statistical** — abundant events converge, rare
+   or short events carry large relative error;
+2. **blocked time is invisible** — a sleeping task receives no samples,
+   so voluntary scheduling (most of MPI_Recv!) simply does not exist in
+   a sampled profile;
+3. **no online counts** — samples estimate time shares, never call
+   counts or per-call costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.wire import TaskProfileDump
+from repro.oprofile.sampler import Sample
+
+
+def estimated_flat_profile(samples: list[Sample], period_ns: int,
+                           pid: int | None = None) -> dict[str, float]:
+    """``symbol -> estimated seconds`` from a sample set.
+
+    ``pid`` restricts to one process (OProfile's per-image separation).
+    """
+    out: dict[str, float] = {}
+    for sample in samples:
+        if pid is not None and sample.pid != pid:
+            continue
+        out[sample.symbol] = out.get(sample.symbol, 0.0) + period_ns / 1e9
+    return out
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One event's sampled-vs-measured comparison."""
+
+    symbol: str
+    measured_s: float  # KTAU exclusive time
+    sampled_s: float  # samples x period
+    #: relative error; NaN when the event was never sampled
+    relative_error: float
+
+
+def compare_with_ktau(samples: list[Sample], period_ns: int,
+                      kdump: TaskProfileDump, hz: float,
+                      pid: int | None = None,
+                      udump=None) -> list[ComparisonRow]:
+    """Per-event comparison rows, sorted by measured time descending.
+
+    On-CPU kernel events are comparable; ``schedule``/``schedule_vol``
+    rows show sampling's structural blindness (their sampled time is
+    ~zero however large the measured wait is).  When a TAU profile
+    (``udump``) is supplied, user routines are compared too — long
+    compute routines are where sampling converges.
+    """
+    flat = estimated_flat_profile(samples, period_ns, pid=pid)
+
+    def row(name: str, measured: float) -> ComparisonRow:
+        sampled = flat.get(name, 0.0)
+        error = (sampled - measured) / measured if measured > 0 else float("nan")
+        return ComparisonRow(name, measured, sampled, error)
+
+    rows = [row(name, excl / hz)
+            for name, (_c, _i, excl) in kdump.perf.items()]
+    if udump is not None:
+        for name, (_count, _incl, excl) in udump.perf.items():
+            rows.append(row(name, excl / hz))
+    rows.sort(key=lambda r: -r.measured_s)
+    return rows
+
+
+def sampling_blindness_s(rows: list[ComparisonRow]) -> float:
+    """Measured seconds of scheduling wait invisible to the sampler."""
+    return sum(r.measured_s - r.sampled_s for r in rows
+               if r.symbol in ("schedule", "schedule_vol"))
+
+
+def render_comparison(rows: list[ComparisonRow], top: int = 12) -> str:
+    """Render the sampled-vs-measured table."""
+    from repro.analysis.render import ascii_table
+
+    def fmt_err(row: ComparisonRow) -> str:
+        if row.measured_s == 0:
+            return "-"
+        return f"{100 * row.relative_error:+.0f}%"
+
+    table_rows = [(r.symbol, r.measured_s, r.sampled_s, fmt_err(r))
+                  for r in rows[:top]]
+    return ascii_table(
+        ("event", "KTAU measured (s)", "OProfile estimate (s)", "error"),
+        table_rows, floatfmt=".4f",
+        title="direct measurement vs statistical sampling")

@@ -1,0 +1,16 @@
+"""Discrete-event simulation substrate.
+
+The simulator provides a single global virtual clock (integer nanoseconds),
+a cancellable event queue, per-node cycle clocks (the simulated Time Stamp
+Counter that KTAU reads), and deterministic named random streams.
+
+Nothing in this package knows about kernels or clusters; it is the
+foundation everything else is built on.
+"""
+
+from repro.sim.engine import Engine, EventHandle
+from repro.sim.clock import CycleClock
+from repro.sim.rng import RngHub
+from repro.sim import units
+
+__all__ = ["Engine", "EventHandle", "CycleClock", "RngHub", "units"]

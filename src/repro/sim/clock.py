@@ -1,0 +1,54 @@
+"""Per-node cycle clocks.
+
+KTAU timestamps events with the CPU's low-level hardware timer (the Time
+Stamp Counter on x86, the Time Base on PowerPC).  Each simulated node has a
+:class:`CycleClock` that converts the shared engine time into that node's
+TSC value, applying the node's clock frequency and an arbitrary boot offset
+so that cross-node TSC values are *not* comparable — exactly the property
+that makes merged cross-node trace alignment a real problem, which the
+analysis layer has to solve the way TAU/KTAU do (per-node offset
+estimation).
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Engine
+from repro.sim.units import SEC
+
+
+class CycleClock:
+    """Converts engine nanoseconds into a node-local cycle counter.
+
+    Parameters
+    ----------
+    engine:
+        The shared simulation engine supplying virtual time.
+    hz:
+        Node clock frequency in cycles per second (e.g. ``450e6`` for the
+        Chiba-City Pentium IIIs).
+    boot_offset_cycles:
+        TSC value at engine time zero.  Different per node.
+    """
+
+    def __init__(self, engine: Engine, hz: float, boot_offset_cycles: int = 0):
+        if hz <= 0:
+            raise ValueError("clock frequency must be positive")
+        self.engine = engine
+        self.hz = float(hz)
+        self.boot_offset_cycles = int(boot_offset_cycles)
+
+    def read(self) -> int:
+        """Current TSC value (cycles since an arbitrary node-local epoch)."""
+        return self.boot_offset_cycles + self.cycles_at(self.engine.now)
+
+    def cycles_at(self, t_ns: int) -> int:
+        """Cycles elapsed at engine time ``t_ns`` (excluding boot offset)."""
+        return int(t_ns * self.hz) // SEC
+
+    def ns_for_cycles(self, cycles: int) -> int:
+        """Duration in nanoseconds of ``cycles`` cycles on this clock."""
+        return int(round(cycles * SEC / self.hz))
+
+    def cycles_for_ns(self, ns: int) -> int:
+        """Number of cycles in a duration of ``ns`` nanoseconds."""
+        return int(round(ns * self.hz / SEC))

@@ -1,0 +1,159 @@
+"""The discrete-event engine.
+
+A single :class:`Engine` instance drives an entire simulated cluster: all
+nodes share one virtual clock so that cross-node messages and per-node
+scheduling interleave consistently.
+
+Events are plain callbacks ordered by ``(time, sequence)``; the sequence
+number makes simultaneous events FIFO and the whole simulation
+deterministic.  Handles returned by :meth:`Engine.schedule` can be
+cancelled, which is how the CPU executor retracts a burst-completion or
+timeslice-expiry event when an interrupt or wakeup changes the plan.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+
+class EventHandle:
+    """A scheduled event that can be cancelled before it fires."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled", "label")
+
+    def __init__(self, time: int, seq: int, fn: Callable[[], None], label: str):
+        self.time = time
+        self.seq = seq
+        self.fn: Optional[Callable[[], None]] = fn
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Retract the event; a cancelled event is skipped when popped."""
+        self.cancelled = True
+        self.fn = None  # break reference cycles early
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled
+
+    def __lt__(self, other: "EventHandle") -> bool:  # heapq tie-break
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time} {self.label!r} {state}>"
+
+
+class Engine:
+    """Virtual-time event loop.
+
+    Attributes
+    ----------
+    now:
+        Current virtual time in integer nanoseconds.  Monotonically
+        non-decreasing; only the engine advances it.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[EventHandle] = []
+        self._seq: int = 0
+        self._stopped: bool = False
+        self._events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: int, fn: Callable[[], None], label: str = "") -> EventHandle:
+        """Schedule ``fn`` to run at absolute virtual time ``time``.
+
+        ``time`` must not be in the past.  Returns a cancellable handle.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < now {self.now}")
+        self._seq += 1
+        handle = EventHandle(time, self._seq, fn, label)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def schedule(self, delay: int, fn: Callable[[], None], label: str = "") -> EventHandle:
+        """Schedule ``fn`` to run ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self.now + delay, fn, label)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Pop and run the next active event.
+
+        Returns ``False`` when the queue holds no active events.
+        """
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            if handle.time < self.now:  # pragma: no cover - invariant guard
+                raise RuntimeError("event queue produced a past event")
+            self.now = handle.time
+            fn = handle.fn
+            handle.fn = None
+            self._events_processed += 1
+            assert fn is not None
+            fn()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have been processed.
+
+        When ``until`` is given and the run is not stopped early via
+        :meth:`stop`, the clock is advanced to exactly ``until`` on return
+        (even if the queue drained earlier), so callers can treat it as
+        "simulate this much virtual time".
+        """
+        processed = 0
+        self._stopped = False
+        while not self._stopped:
+            if max_events is not None and processed >= max_events:
+                return
+            next_handle = self._peek()
+            if next_handle is None:
+                break
+            if until is not None and next_handle.time > until:
+                break
+            if not self.step():
+                break
+            processed += 1
+        if until is not None and not self._stopped and self.now < until:
+            self.now = until
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> None:
+        """Run until no active events remain."""
+        self.run(until=None, max_events=max_events)
+
+    def stop(self) -> None:
+        """Request :meth:`run` to return after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _peek(self) -> Optional[EventHandle]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    @property
+    def pending(self) -> int:
+        """Number of active (non-cancelled) events still queued."""
+        return sum(1 for h in self._queue if not h.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed since construction (diagnostics)."""
+        return self._events_processed

@@ -1,0 +1,23 @@
+"""The user-level TAU-like measurement layer.
+
+TAU measures application routines in user space with the same
+entry/exit-timer discipline KTAU uses in the kernel.  This package
+provides:
+
+* :mod:`repro.tau.profiler` — per-process user-level timers with an
+  activation stack (inclusive/exclusive), TSC-based timestamps, optional
+  event tracing, and the hook that publishes the *current user context*
+  into the KTAU task structure (the merge link).
+* :mod:`repro.tau.merge` — construction of merged user/kernel profiles:
+  the paper's Figure 2-D comparison ("true" user exclusive time with
+  kernel time subtracted out and kernel routines added as first-class
+  rows) and the per-user-routine kernel call-group attribution behind
+  Figures 4 and 9.
+"""
+
+from repro.tau.profiler import TauProfiler, TauProfileDump
+from repro.tau.merge import merged_profile, MergedRow
+from repro.tau.phases import PhaseTracker, PhaseResult
+
+__all__ = ["TauProfiler", "TauProfileDump", "merged_profile", "MergedRow",
+           "PhaseTracker", "PhaseResult"]

@@ -1,0 +1,119 @@
+"""Phase-based profiling (§6 future work).
+
+TAU's phase profiling splits an application into named execution phases
+and reports per-phase performance.  Extended to the kernel side, each
+phase gets its own *kernel* profile: the tracker snapshots the process's
+own kernel profile through libKtau's SELF mode at phase boundaries (the
+online, daemon-free access path) and differences consecutive snapshots.
+
+Usage inside a simulated process (the boundary reads are real syscalls
+and cost simulated time, so phase profiling perturbs like it would in
+reality)::
+
+    phases = PhaseTracker(ctx)
+    yield from phases.begin("initialization")
+    ...                      # application code
+    yield from phases.end("initialization")
+    yield from phases.begin("solve")
+    ...
+    yield from phases.end("solve")
+
+    phases.report()          # after the run
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.libktau import LibKtau, Scope
+from repro.core.wire import TaskProfileDump
+from repro.sim.units import USEC
+
+
+@dataclass
+class PhaseResult:
+    """One completed phase."""
+
+    name: str
+    start_ns: int
+    end_ns: int
+    #: kernel event -> (count delta, inclusive delta, exclusive delta)
+    kernel_delta: dict[str, tuple[int, int, int]] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    def kernel_seconds(self, hz: float) -> float:
+        """Total exclusive kernel time inside the phase."""
+        return sum(excl for (_c, _i, excl) in self.kernel_delta.values()) / hz
+
+
+def _diff(before: Optional[TaskProfileDump],
+          after: TaskProfileDump) -> dict[str, tuple[int, int, int]]:
+    out: dict[str, tuple[int, int, int]] = {}
+    for name, (count, incl, excl) in after.perf.items():
+        b = before.perf.get(name, (0, 0, 0)) if before is not None else (0, 0, 0)
+        d = (count - b[0], incl - b[1], excl - b[2])
+        if any(d):
+            out[name] = d
+    return out
+
+
+class PhaseTracker:
+    """Per-process phase profiling over the SELF-scope kernel profile."""
+
+    #: CPU cost of one boundary snapshot (read + parse), in ns.
+    SNAPSHOT_COST_NS = 25 * USEC
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.lib = LibKtau(ctx.kernel.ktau_proc, self_pid=ctx.task.pid)
+        self.phases: list[PhaseResult] = []
+        self._open: Optional[tuple[str, int, TaskProfileDump]] = None
+
+    # -- boundaries (generators: yield from them) -----------------------
+    def begin(self, name: str):
+        if self._open is not None:
+            raise RuntimeError(f"phase {self._open[0]!r} still open")
+        yield from self.ctx.compute(self.SNAPSHOT_COST_NS)
+        snap = self.lib.read_profiles(Scope.SELF)[self.ctx.task.pid]
+        self._open = (name, self.ctx.now, snap)
+        tau = self.ctx.task.tau
+        if tau is not None:
+            tau.start(f"phase:{name}")
+
+    def end(self, name: str):
+        if self._open is None or self._open[0] != name:
+            raise RuntimeError(f"phase {name!r} is not the open phase")
+        tau = self.ctx.task.tau
+        if tau is not None:
+            tau.stop(f"phase:{name}")
+        yield from self.ctx.compute(self.SNAPSHOT_COST_NS)
+        after = self.lib.read_profiles(Scope.SELF)[self.ctx.task.pid]
+        pname, start_ns, before = self._open
+        self._open = None
+        self.phases.append(PhaseResult(
+            name=pname, start_ns=start_ns, end_ns=self.ctx.now,
+            kernel_delta=_diff(before, after)))
+
+    # -- results ---------------------------------------------------------
+    def result(self, name: str) -> PhaseResult:
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        raise KeyError(name)
+
+    def report(self, hz: Optional[float] = None) -> str:
+        hz = hz or self.ctx.kernel.clock.hz
+        lines = ["phase-based kernel profile:"]
+        for phase in self.phases:
+            lines.append(f"  phase {phase.name!r}: "
+                         f"{phase.duration_ns / 1e9:.6f}s wall, "
+                         f"{phase.kernel_seconds(hz):.6f}s kernel")
+            for event, (count, _incl, excl) in sorted(
+                    phase.kernel_delta.items(), key=lambda kv: -kv[1][2])[:6]:
+                lines.append(f"    {event:<24} +{count:<5} "
+                             f"excl +{excl / hz:.6f}s")
+        return "\n".join(lines) + "\n"

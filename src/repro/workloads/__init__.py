@@ -1,0 +1,22 @@
+"""Synthetic workloads reproducing the paper's benchmark applications.
+
+* :mod:`repro.workloads.lu` — an NPB-LU-like SSOR iteration: per-iteration
+  RHS computation, halo exchanges, and lower/upper wavefront sweeps over a
+  2D process grid, with TAU-instrumented routines named after LU's
+  (``rhs``, ``jacld``, ``blts``, ``jacu``, ``buts``, ``l2norm``).
+* :mod:`repro.workloads.sweep3d` — the ASCI Sweep3D wavefront: octant
+  sweeps over a 2D process grid with the compute-bound section of
+  ``sweep()`` distinguishable in the merged views (Figure 9's metric).
+* :mod:`repro.workloads.lmbench` — LMBENCH-style micro-benchmarks
+  (null-syscall latency, context-switch latency, TCP bandwidth).
+* :mod:`repro.workloads.interference` — the paper's artificial "overhead"
+  process (sleep 10 s, busy-loop 3 s) used in §5.1 to plant a detectable
+  performance anomaly.
+"""
+
+from repro.workloads.lu import LuParams, lu_app, proc_grid
+from repro.workloads.sweep3d import Sweep3dParams, sweep3d_app
+from repro.workloads.interference import overhead_process
+
+__all__ = ["LuParams", "lu_app", "proc_grid",
+           "Sweep3dParams", "sweep3d_app", "overhead_process"]

@@ -1,0 +1,60 @@
+"""An NPB-FT-like spectral workload (all-to-all transposes).
+
+FT computes 3D FFTs: each iteration does local FFT work plus a global
+*transpose* — an all-to-all in which every rank exchanges a slab with
+every other rank.  That is the communication pattern none of the other
+workloads has: O(P²) simultaneous flows, saturating every NIC at once
+and generating the densest interrupt load per node, which makes it the
+stress test for the receive path (softirq backlog, ksoftirqd, per-flow
+cache effects) the evaluation's figures revolve around.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+
+from repro.sim.units import MSEC
+
+
+@dataclass(frozen=True)
+class FtParams:
+    """Scaled FT configuration.
+
+    ``slab_bytes`` is the per-peer transpose payload, so one transpose
+    moves ``slab_bytes * (nranks - 1)`` bytes per rank.
+    """
+
+    niters: int = 4
+    fft_compute_ns: int = 30 * MSEC  # local FFT work per iteration
+    slab_bytes: int = 8_192
+    checksum_every: int = 2  # allreduce period
+    noise: float = 0.02
+
+
+def ft_app(params: FtParams):
+    """Build the FT rank program."""
+
+    def app(ctx, mpi):
+        rng = ctx.kernel.rng_hub.stream(f"ft.rank{mpi.rank}")
+        tau = ctx.task.tau
+
+        def timer(name: str):
+            return tau.timer(name) if tau is not None else nullcontext()
+
+        def burst(ns: int):
+            jitter = 1.0 + params.noise * float(rng.standard_normal())
+            return ctx.compute(max(1000, int(ns * jitter)))
+
+        for it in range(params.niters):
+            with timer("fft_local"):
+                yield from burst(params.fft_compute_ns // 2)
+            with timer("transpose"):
+                yield from mpi.alltoall(params.slab_bytes)
+            with timer("fft_local"):
+                yield from burst(params.fft_compute_ns // 2)
+            if params.checksum_every and (it + 1) % params.checksum_every == 0:
+                with timer("checksum"):
+                    yield from mpi.allreduce(32)
+
+    return app

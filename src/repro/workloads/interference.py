@@ -1,0 +1,25 @@
+"""Artificial interference workloads (§5.1's controlled anomalies)."""
+
+from __future__ import annotations
+
+from repro.sim.units import SEC
+
+
+def overhead_process(sleep_ns: int = 10 * SEC, busy_ns: int = 3 * SEC,
+                     repeats: int | None = None):
+    """The paper's "overhead" process.
+
+    Periodically wakes (after sleeping ``sleep_ns``) and performs a
+    CPU-intensive busy loop for ``busy_ns``, disrupting whatever
+    application shares the node.  ``repeats=None`` runs forever (kill at
+    teardown); a finite count makes the process exit on its own.
+    """
+
+    def behavior(ctx):
+        done = 0
+        while repeats is None or done < repeats:
+            yield from ctx.sleep(sleep_ns)
+            yield from ctx.compute(busy_ns)
+            done += 1
+
+    return behavior

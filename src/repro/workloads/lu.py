@@ -1,0 +1,172 @@
+"""An NPB-LU-like SSOR application.
+
+LU solves a regular 3D system with SSOR iterations over a 2D process
+decomposition.  What the paper's experiments depend on is LU's
+*communication structure*, which we reproduce:
+
+* per-iteration right-hand-side computation with boundary (halo)
+  exchanges between the four grid neighbours;
+* lower/upper triangular sweeps (``blts``/``buts``) that form a
+  *wavefront*: each rank receives from its north/west (resp. south/east)
+  neighbours before computing, so one slow rank stalls the whole diagonal
+  — this is how a single faulty node inflates everyone's ``MPI_Recv``
+  (voluntary scheduling) in Figures 3–5;
+* a periodic global residual norm (``l2norm``) via allreduce.
+
+Compute costs are synthetic (calibrated fractions of a per-iteration
+budget with small deterministic jitter); routine names and TAU
+instrumentation match the profiles shown in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+
+from repro.sim.units import MSEC
+
+
+def proc_grid(nranks: int) -> tuple[int, int]:
+    """The (px, py) 2D decomposition LU uses: the most-square power-of-2
+    split (e.g. 128 -> 8 x 16, 16 -> 4 x 4, 4 -> 2 x 2)."""
+    if nranks <= 0 or nranks & (nranks - 1):
+        raise ValueError(f"LU requires a power-of-2 rank count, got {nranks}")
+    log = nranks.bit_length() - 1
+    px = 1 << (log // 2)
+    return px, nranks // px
+
+
+#: Fraction of the per-iteration compute budget spent in each routine.
+COMPUTE_SPLIT: tuple[tuple[str, float], ...] = (
+    ("rhs", 0.40),
+    ("jacld", 0.15),
+    ("blts", 0.15),
+    ("jacu", 0.15),
+    ("buts", 0.15),
+)
+
+
+@dataclass(frozen=True)
+class LuParams:
+    """Scaled LU configuration.
+
+    ``iter_compute_ns`` is the per-rank, per-iteration compute budget; the
+    paper's Class C runs at 128 ranks correspond to roughly 1.2 s per
+    iteration at 450 MHz — benches run a reduced scaling with identical
+    structure (see EXPERIMENTS.md for the scale factor).
+    """
+
+    niters: int = 30
+    iter_compute_ns: int = 24 * MSEC
+    halo_bytes: int = 16_384
+    sweep_msg_bytes: int = 8_192
+    inorm: int = 8  # residual allreduce every `inorm` iterations
+    noise: float = 0.02  # relative jitter on compute bursts
+    rhs_exchange: bool = True
+    #: Fraction of a sweep's compute done before forwarding downstream.
+    #: Real LU pipelines the triangular sweeps over k-planes, so a rank
+    #: forwards after its first plane, not after its whole block; this
+    #: keeps the per-iteration wavefront fill at a few percent of compute
+    #: instead of serialising the entire diagonal.
+    pipeline_fill_frac: float = 0.05
+
+    def scaled(self, factor: float) -> "LuParams":
+        """A configuration with compute and message sizes scaled."""
+        return LuParams(
+            niters=self.niters,
+            iter_compute_ns=int(self.iter_compute_ns * factor),
+            halo_bytes=max(1024, int(self.halo_bytes * factor)),
+            sweep_msg_bytes=max(512, int(self.sweep_msg_bytes * factor)),
+            inorm=self.inorm,
+            noise=self.noise,
+            rhs_exchange=self.rhs_exchange,
+            pipeline_fill_frac=self.pipeline_fill_frac,
+        )
+
+
+def lu_app(params: LuParams):
+    """Build the LU rank program for :func:`repro.cluster.launch.launch_mpi_job`."""
+
+    def app(ctx, mpi):
+        rank, size = mpi.rank, mpi.size
+        px, py = proc_grid(size)
+        x, y = rank % px, rank // px
+        west = rank - 1 if x > 0 else None
+        east = rank + 1 if x < px - 1 else None
+        north = rank - px if y > 0 else None
+        south = rank + px if y < py - 1 else None
+        rng = ctx.kernel.rng_hub.stream(f"lu.rank{rank}")
+        tau = ctx.task.tau
+
+        def timer(name: str):
+            return tau.timer(name) if tau is not None else nullcontext()
+
+        def burst(fraction: float):
+            base = params.iter_compute_ns * fraction
+            jitter = 1.0 + params.noise * float(rng.standard_normal())
+            return ctx.compute(max(1000, int(base * jitter)))
+
+        with timer("ssor"):
+            for it in range(params.niters):
+                # -- right-hand side with interleaved halo exchange ------
+                # Real LU calls exchange_3 from *inside* rhs: receives are
+                # preposted and the sends go out mid-computation, so
+                # neighbour halos arrive while this rank is still in its
+                # second compute chunk — receive processing genuinely
+                # overlaps compute (the mixing Figures 8/9 are about).
+                with timer("rhs"):
+                    yield from burst(0.20)
+                reqs = []
+                if params.rhs_exchange:
+                    with timer("exchange_3"):
+                        for nb in (north, south, east, west):
+                            if nb is not None:
+                                reqs.append(mpi.irecv(nb, params.halo_bytes))
+                        for nb in (north, south, east, west):
+                            if nb is not None:
+                                yield from mpi.send(nb, params.halo_bytes)
+                with timer("rhs"):
+                    yield from burst(0.20)
+                if params.rhs_exchange:
+                    with timer("exchange_3"):
+                        for req in reqs:
+                            yield from mpi.wait(req)
+
+                # -- lower-triangular wavefront (jacld + blts) ----------
+                fill = params.pipeline_fill_frac
+                with timer("jacld"):
+                    yield from burst(0.15)
+                with timer("blts"):
+                    if north is not None:
+                        yield from mpi.recv(north, params.sweep_msg_bytes)
+                    if west is not None:
+                        yield from mpi.recv(west, params.sweep_msg_bytes)
+                    # first k-plane, then forward so downstream can start
+                    yield from burst(0.15 * fill)
+                    if south is not None:
+                        yield from mpi.send(south, params.sweep_msg_bytes)
+                    if east is not None:
+                        yield from mpi.send(east, params.sweep_msg_bytes)
+                    yield from burst(0.15 * (1.0 - fill))
+
+                # -- upper-triangular wavefront (jacu + buts) ------------
+                with timer("jacu"):
+                    yield from burst(0.15)
+                with timer("buts"):
+                    if south is not None:
+                        yield from mpi.recv(south, params.sweep_msg_bytes)
+                    if east is not None:
+                        yield from mpi.recv(east, params.sweep_msg_bytes)
+                    yield from burst(0.15 * fill)
+                    if north is not None:
+                        yield from mpi.send(north, params.sweep_msg_bytes)
+                    if west is not None:
+                        yield from mpi.send(west, params.sweep_msg_bytes)
+                    yield from burst(0.15 * (1.0 - fill))
+
+                # -- periodic residual norm ------------------------------
+                if params.inorm and (it + 1) % params.inorm == 0:
+                    with timer("l2norm"):
+                        yield from mpi.allreduce(40)
+
+    return app

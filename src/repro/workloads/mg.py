@@ -1,0 +1,106 @@
+"""An NPB-MG-like multigrid workload.
+
+The paper notes experiments "with other NPB applications" beyond LU.  MG
+is the interesting communication contrast: a V-cycle walks a grid
+hierarchy, so the halo-exchange *message sizes vary by powers of eight*
+between levels — large messages at the fine grid, tiny latency-bound
+ones at the coarse grids — exercising both the bandwidth and the
+latency/interrupt paths of the kernel in one application.
+
+Structure per iteration (one V-cycle):
+
+* restriction down the hierarchy: smooth + exchange at each level with
+  geometrically shrinking compute and messages;
+* coarsest-level solve;
+* prolongation back up: interpolate + smooth + exchange;
+* periodic residual norm (allreduce).
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+
+from repro.sim.units import MSEC
+from repro.workloads.lu import proc_grid
+
+
+@dataclass(frozen=True)
+class MgParams:
+    """Scaled MG configuration."""
+
+    niters: int = 4  # V-cycles
+    nlevels: int = 4
+    fine_compute_ns: int = 40 * MSEC  # smoother cost at the finest level
+    fine_halo_bytes: int = 65_536  # halo at the finest level
+    #: compute and message shrink factors per level (8x volume, 4x face)
+    compute_shrink: float = 8.0
+    halo_shrink: float = 4.0
+    noise: float = 0.02
+    norm_every: int = 2
+
+    def level_compute_ns(self, level: int) -> int:
+        return max(50_000, int(self.fine_compute_ns / self.compute_shrink ** level))
+
+    def level_halo_bytes(self, level: int) -> int:
+        return max(256, int(self.fine_halo_bytes / self.halo_shrink ** level))
+
+
+def mg_app(params: MgParams):
+    """Build the MG rank program."""
+
+    def app(ctx, mpi):
+        rank, size = mpi.rank, mpi.size
+        px, py = proc_grid(size)
+        x, y = rank % px, rank // px
+        neighbours = [nb for nb in (
+            rank - px if y > 0 else None,
+            rank + px if y < py - 1 else None,
+            rank - 1 if x > 0 else None,
+            rank + 1 if x < px - 1 else None,
+        ) if nb is not None]
+        rng = ctx.kernel.rng_hub.stream(f"mg.rank{rank}")
+        tau = ctx.task.tau
+
+        def timer(name: str):
+            return tau.timer(name) if tau is not None else nullcontext()
+
+        def burst(ns: int):
+            jitter = 1.0 + params.noise * float(rng.standard_normal())
+            return ctx.compute(max(1000, int(ns * jitter)))
+
+        def exchange(level: int):
+            nbytes = params.level_halo_bytes(level)
+            reqs = [mpi.irecv(nb, nbytes) for nb in neighbours]
+            for nb in neighbours:
+                yield from mpi.send(nb, nbytes)
+            for req in reqs:
+                yield from mpi.wait(req)
+
+        with timer("mg_vcycle"):
+            for it in range(params.niters):
+                # -- restriction: fine -> coarse -------------------------
+                for level in range(params.nlevels):
+                    with timer(f"smooth_L{level}"):
+                        yield from burst(params.level_compute_ns(level))
+                    with timer("comm3"):
+                        yield from exchange(level)
+                    with timer(f"rprj3_L{level}"):
+                        yield from burst(params.level_compute_ns(level) // 4)
+                # -- coarsest solve --------------------------------------
+                with timer("coarse_solve"):
+                    yield from burst(params.level_compute_ns(params.nlevels))
+                    yield from mpi.allreduce(64)
+                # -- prolongation: coarse -> fine ------------------------
+                for level in reversed(range(params.nlevels)):
+                    with timer(f"interp_L{level}"):
+                        yield from burst(params.level_compute_ns(level) // 3)
+                    with timer("comm3"):
+                        yield from exchange(level)
+                    with timer(f"psinv_L{level}"):
+                        yield from burst(params.level_compute_ns(level))
+                if params.norm_every and (it + 1) % params.norm_every == 0:
+                    with timer("norm2u3"):
+                        yield from mpi.allreduce(40)
+
+    return app

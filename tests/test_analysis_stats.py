@@ -1,0 +1,74 @@
+"""Tests for cross-rank derived statistics."""
+
+import pytest
+
+from repro.analysis.profiles import harvest_job
+from repro.analysis.stats import (kernel_event_stats, most_imbalanced,
+                                  render_stats, user_event_stats)
+from repro.cluster.launch import block_placement, launch_mpi_job
+from repro.cluster.machines import make_chiba
+from repro.sim.units import MSEC
+from repro.workloads.lu import LuParams, lu_app
+
+
+@pytest.fixture(scope="module")
+def job_data():
+    params = LuParams(niters=3, iter_compute_ns=10 * MSEC, halo_bytes=8192,
+                      sweep_msg_bytes=2048, inorm=0)
+    cluster = make_chiba(nnodes=4, seed=21)
+    job = launch_mpi_job(cluster, 4, lu_app(params),
+                         placement=block_placement(1, 4))
+    job.run(limit_s=300)
+    data = harvest_job(job)
+    cluster.teardown()
+    return data
+
+
+class TestKernelStats:
+    def test_sorted_by_mean(self, job_data):
+        stats = kernel_event_stats(job_data)
+        means = [s.mean_s for s in stats]
+        assert means == sorted(means, reverse=True)
+
+    def test_bounds_consistent(self, job_data):
+        for s in kernel_event_stats(job_data):
+            assert s.min_s <= s.mean_s <= s.max_s
+            assert s.std_s >= 0
+            assert 1 <= s.ranks <= 4
+
+    def test_scheduling_present_and_significant(self, job_data):
+        stats = {s.name: s for s in kernel_event_stats(job_data)}
+        assert "schedule_vol" in stats
+        assert stats["schedule_vol"].mean_s > 0
+
+    def test_inclusive_dominates_exclusive(self, job_data):
+        excl = {s.name: s for s in kernel_event_stats(job_data)}
+        incl = {s.name: s for s in kernel_event_stats(job_data, inclusive=True)}
+        for name in excl:
+            assert incl[name].mean_s >= excl[name].mean_s - 1e-12
+
+
+class TestUserStats:
+    def test_user_routines_present(self, job_data):
+        names = {s.name for s in user_event_stats(job_data)}
+        assert {"rhs", "blts", "MPI_Recv()"} <= names
+
+    def test_wavefront_imbalance_flagged(self, job_data):
+        stats = user_event_stats(job_data, inclusive=True)
+        flagged = most_imbalanced(stats, min_mean_s=1e-4)
+        # blts/buts inclusive differ by wavefront position -> imbalanced
+        assert any(s.name in ("blts", "buts", "MPI_Recv()") for s in flagged)
+
+    def test_render(self, job_data):
+        text = render_stats(user_event_stats(job_data), title="user stats")
+        assert "user stats" in text and "max/mean" in text
+
+
+class TestEdgeCases:
+    def test_empty_job(self):
+        from repro.analysis.profiles import JobData
+
+        data = JobData(exec_time_s=0.0, ranks=[])
+        assert kernel_event_stats(data) == []
+        assert user_event_stats(data) == []
+        assert most_imbalanced([]) == []

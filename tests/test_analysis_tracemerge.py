@@ -1,0 +1,98 @@
+"""Tests for merged user/kernel trace timelines."""
+
+from repro.analysis.tracemerge import (MergedEvent, events_within,
+                                       merge_traces, render_timeline)
+from repro.core.tracebuf import TraceKind
+from repro.core.wire import TraceDump
+from repro.tau.profiler import TauProfileDump
+
+
+def make_udump(trace):
+    return TauProfileDump(pid=1, comm="app", node="n", rank=0, hz=1e9,
+                          trace=trace)
+
+
+def make_ktrace(records):
+    return TraceDump(pid=1, lost=0, records=records)
+
+
+class TestMergeTraces:
+    def test_interleaves_by_timestamp(self):
+        udump = make_udump([(10, "MPI_Send()", True), (100, "MPI_Send()", False)])
+        ktrace = make_ktrace([
+            (20, "sys_writev", TraceKind.ENTRY, 0),
+            (90, "sys_writev", TraceKind.EXIT, 0),
+        ])
+        merged = merge_traces(udump, ktrace)
+        assert [(e.name, e.is_entry) for e in merged] == [
+            ("MPI_Send()", True), ("sys_writev", True),
+            ("sys_writev", False), ("MPI_Send()", False)]
+
+    def test_equal_timestamp_nesting_preserved(self):
+        # kernel exit, user exit, user entry, kernel entry — all at t=50
+        udump = make_udump([(0, "rhs", True), (50, "rhs", False),
+                            (50, "MPI_Send()", True), (200, "MPI_Send()", False)])
+        ktrace = make_ktrace([
+            (10, "do_page_fault", TraceKind.ENTRY, 0),
+            (50, "do_page_fault", TraceKind.EXIT, 0),
+            (50, "sys_writev", TraceKind.ENTRY, 0),
+            (199, "sys_writev", TraceKind.EXIT, 0),
+        ])
+        merged = merge_traces(udump, ktrace)
+        names = [(e.name, e.is_entry) for e in merged]
+        assert names == [
+            ("rhs", True), ("do_page_fault", True),
+            ("do_page_fault", False), ("rhs", False),
+            ("MPI_Send()", True), ("sys_writev", True),
+            ("sys_writev", False), ("MPI_Send()", False)]
+
+    def test_atomic_records_carried(self):
+        udump = make_udump([])
+        ktrace = make_ktrace([(5, "net.pkt_tx_bytes", TraceKind.ATOMIC, 1500)])
+        merged = merge_traces(udump, ktrace)
+        assert merged[0].value == 1500
+        assert not merged[0].is_entry
+
+
+class TestEventsWithin:
+    def timeline(self):
+        udump = make_udump([
+            (0, "MPI_Send()", True), (50, "MPI_Send()", False),
+            (100, "MPI_Send()", True), (180, "MPI_Send()", False),
+        ])
+        ktrace = make_ktrace([
+            (110, "sys_writev", TraceKind.ENTRY, 0),
+            (170, "sys_writev", TraceKind.EXIT, 0),
+        ])
+        return merge_traces(udump, ktrace)
+
+    def test_selects_requested_occurrence(self):
+        window = events_within(self.timeline(), "MPI_Send()", occurrence=1)
+        assert window[0].cycles == 100
+        assert window[-1].cycles == 180
+        assert any(e.name == "sys_writev" for e in window)
+
+    def test_first_occurrence_excludes_later_kernel_events(self):
+        window = events_within(self.timeline(), "MPI_Send()", occurrence=0)
+        assert all(e.name != "sys_writev" for e in window)
+
+    def test_missing_occurrence_returns_empty(self):
+        assert events_within(self.timeline(), "MPI_Send()", occurrence=5) == []
+        assert events_within(self.timeline(), "nope") == []
+
+
+class TestRenderTimeline:
+    def test_renders_nesting(self):
+        events = [
+            MergedEvent(0, "MPI_Send()", "user", True),
+            MergedEvent(100, "sys_writev", "kernel", True),
+            MergedEvent(900, "sys_writev", "kernel", False),
+            MergedEvent(1000, "MPI_Send()", "user", False),
+        ]
+        text = render_timeline(events, hz=1e9)
+        lines = text.splitlines()
+        assert "> MPI_Send()" in lines[0]
+        assert lines[1].index("sys_writev") > lines[0].index("MPI_Send()")
+
+    def test_empty(self):
+        assert "empty" in render_timeline([], hz=1e9)

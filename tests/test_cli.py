@@ -1,0 +1,40 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_runktau_command(capsys):
+    assert main(["runktau", "--iterations", "2", "--compute-ms", "2",
+                 "--sleep-ms", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "KTAU profile" in out
+    assert "sys_nanosleep" in out
+
+
+def test_table1_command(capsys):
+    assert main(["table", "1"]) == 0
+    assert "KTAU+TAU" in capsys.readouterr().out
+
+
+def test_table4_command(capsys):
+    assert main(["table", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Direct overheads" in out
+
+
+def test_lmbench_command(capsys):
+    assert main(["lmbench"]) == 0
+    out = capsys.readouterr().out
+    assert "lat_syscall" in out and "bw_tcp" in out
+
+
+def test_parser_rejects_unknown_table():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["table", "9"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

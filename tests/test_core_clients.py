@@ -1,0 +1,128 @@
+"""Tests for the KTAU clients: runKtau, KTAUD, self-profiling."""
+
+from repro.core.clients.ktaud import Ktaud
+from repro.core.clients.runktau import run_ktau
+from repro.core.clients.selfprofile import self_profiling_task
+from repro.core.config import KtauBuildConfig
+from repro.kernel.kernel import Kernel
+from repro.kernel.params import KernelParams
+from repro.sim.engine import Engine
+from repro.sim.rng import RngHub
+from repro.sim.units import MSEC, SEC
+
+
+def make_kernel(tracing=False):
+    engine = Engine()
+    params = KernelParams(ncpus=2, timer_tick_ns=None, minor_fault_prob=0.0,
+                          smp_compute_dilation=0.0,
+                          ktau=KtauBuildConfig.full(tracing=tracing))
+    return engine, Kernel(engine, params, "client-test", RngHub(1))
+
+
+def busy_job(iterations=5):
+    def behavior(ctx):
+        for _ in range(iterations):
+            yield from ctx.compute(5 * MSEC)
+            yield from ctx.sleep(2 * MSEC)
+    return behavior
+
+
+class TestRunKtau:
+    def test_profile_extracted_after_exit(self):
+        engine, kernel = make_kernel()
+        result = run_ktau(kernel, busy_job(), comm="myjob")
+        assert result.profile is None  # not done yet
+        engine.run_until_idle()
+        assert result.profile is not None
+        assert result.exit_code == 0
+        assert result.elapsed_ns >= 35 * MSEC
+        assert "sys_nanosleep" in result.profile.perf
+        assert "schedule_vol" in result.profile.perf
+
+    def test_zombie_reaped(self):
+        engine, kernel = make_kernel()
+        result = run_ktau(kernel, busy_job())
+        engine.run_until_idle()
+        assert result.task.pid not in kernel.ktau.zombies
+
+    def test_report_renders(self):
+        engine, kernel = make_kernel()
+        result = run_ktau(kernel, busy_job(), comm="thing")
+        assert "still running" in result.report()
+        engine.run_until_idle()
+        report = result.report()
+        assert "thing" in report and "elapsed" in report
+
+
+class TestKtaud:
+    def test_periodic_snapshots_grow(self):
+        engine, kernel = make_kernel()
+        kernel.spawn(busy_job(iterations=40), "app")
+        ktaud = Ktaud(kernel, period_ns=50 * MSEC)
+        ktaud.start()
+        engine.run(until=300 * MSEC)
+        ktaud.stop()
+        assert len(ktaud.snapshots) >= 4
+        # online observation: counters grow across snapshots
+        app_pid = next(t.pid for t in kernel.all_tasks if t.comm == "app")
+        series = ktaud.profile_series(app_pid, "sys_nanosleep")
+        assert len(series) >= 2
+        values = [v for _t, v in series]
+        assert values[-1] > values[0]
+
+    def test_ktaud_monitors_itself_too(self):
+        engine, kernel = make_kernel()
+        ktaud = Ktaud(kernel, period_ns=50 * MSEC)
+        task = ktaud.start()
+        engine.run(until=300 * MSEC)
+        assert any(task.pid in snap.profiles for snap in ktaud.snapshots)
+
+    def test_subset_mode(self):
+        engine, kernel = make_kernel()
+        app = kernel.spawn(busy_job(iterations=40), "watched")
+        kernel.spawn(busy_job(iterations=40), "ignored")
+        ktaud = Ktaud(kernel, period_ns=50 * MSEC, pids=[app.pid])
+        ktaud.start()
+        engine.run(until=200 * MSEC)
+        for snap in ktaud.snapshots:
+            assert set(snap.profiles) <= {app.pid}
+
+    def test_trace_draining(self):
+        engine, kernel = make_kernel(tracing=True)
+        app = kernel.spawn(busy_job(iterations=40), "traced")
+        ktaud = Ktaud(kernel, period_ns=50 * MSEC, pids=[app.pid],
+                      drain_traces=True)
+        ktaud.start()
+        engine.run(until=300 * MSEC)
+        records = sum(len(s.traces.get(app.pid).records)
+                      for s in ktaud.snapshots if app.pid in s.traces)
+        assert records > 0
+
+    def test_daemon_perturbs_node(self):
+        """KTAUD's reads cost CPU; the paper's case against daemon-based
+        monitoring should be measurable."""
+        engine, kernel = make_kernel()
+        ktaud = Ktaud(kernel, period_ns=20 * MSEC)
+        task = ktaud.start()
+        engine.run(until=1 * SEC)
+        assert task.utime_ns > 0
+
+
+class TestSelfProfiling:
+    def test_snapshots_show_growth(self):
+        engine, kernel = make_kernel()
+        task, snapshots = self_profiling_task(kernel, phases=4)
+        engine.run_until_idle()
+        assert len(snapshots) == 4
+        sleeps = [snap.perf.get("sys_nanosleep", (0, 0, 0))[0]
+                  for snap in snapshots]
+        assert sleeps == sorted(sleeps)
+        assert sleeps[-1] > sleeps[0]
+
+    def test_self_scope_only_own_data(self):
+        engine, kernel = make_kernel()
+        kernel.spawn(busy_job(iterations=30), "other")
+        task, snapshots = self_profiling_task(kernel, phases=3)
+        engine.run(until=2 * SEC)
+        for snap in snapshots:
+            assert snap.pid == task.pid

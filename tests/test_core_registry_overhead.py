@@ -1,0 +1,107 @@
+"""Tests for event mapping (registry) and the overhead model."""
+
+import numpy as np
+import pytest
+
+from repro.core.overhead import OverheadModel, ZeroOverheadModel
+from repro.core.points import ALL_GROUPS, Group, group_of, POINT_GROUPS
+from repro.core.registry import EventRegistry, PointKind
+from repro.sim.rng import RngHub
+
+
+class TestPoints:
+    def test_every_declared_point_has_a_group(self):
+        for name, group in POINT_GROUPS.items():
+            assert group in ALL_GROUPS
+            assert group_of(name) is group
+
+    def test_undeclared_point_raises(self):
+        with pytest.raises(KeyError):
+            group_of("not_a_kernel_symbol")
+
+    def test_all_interaction_mechanisms_covered(self):
+        # The paper's five program-OS interaction mechanisms all carry
+        # instrumentation: syscalls, exceptions, interrupts, scheduling,
+        # signals (plus the explicit bottom-half/net split).
+        groups = set(POINT_GROUPS.values())
+        for g in (Group.SYSCALL, Group.EXCEPTION, Group.IRQ, Group.SCHED,
+                  Group.SIGNAL, Group.BH, Group.NET):
+            assert g in groups
+
+
+class TestEventRegistry:
+    def test_ids_bind_in_first_arrival_order(self):
+        reg = EventRegistry()
+        a = reg.point("sys_read")
+        b = reg.point("sys_write")
+        # b fires first
+        assert reg.bind(b) == 0
+        assert reg.bind(a) == 1
+        assert reg.name_of(0) == "sys_write"
+
+    def test_bind_is_idempotent(self):
+        reg = EventRegistry()
+        pt = reg.point("schedule")
+        assert reg.bind(pt) == reg.bind(pt) == 0
+        assert reg.bound_count == 1
+
+    def test_point_is_cached(self):
+        reg = EventRegistry()
+        assert reg.point("schedule") is reg.point("schedule")
+
+    def test_kind_conflict_rejected(self):
+        reg = EventRegistry()
+        reg.point("net.pkt_tx_bytes", PointKind.ATOMIC)
+        with pytest.raises(ValueError):
+            reg.point("net.pkt_tx_bytes", PointKind.ENTRY_EXIT)
+
+    def test_mapping_table_only_bound_points(self):
+        reg = EventRegistry()
+        reg.point("sys_read")  # declared, never fired
+        fired = reg.point("schedule")
+        reg.bind(fired)
+        table = reg.mapping_table()
+        assert table == [(0, "schedule", "sched")]
+
+    def test_id_of_unfired_point_is_none(self):
+        reg = EventRegistry()
+        reg.point("sys_read")
+        assert reg.id_of("sys_read") is None
+        assert reg.id_of("never_declared") is None
+
+
+class TestOverheadModel:
+    def test_matches_paper_statistics(self):
+        model = OverheadModel(RngHub(3).stream("ovh"))
+        start = model.sample_start_array(200_000)
+        stop = model.sample_stop_array(200_000)
+        # Table 4: start 244.4/236.3/160, stop 295.3/268.8/214.
+        assert np.mean(start) == pytest.approx(244.4, rel=0.05)
+        assert np.std(start) == pytest.approx(236.3, rel=0.08)
+        assert np.min(start) >= 160
+        assert np.mean(stop) == pytest.approx(295.3, rel=0.05)
+        assert np.std(stop) == pytest.approx(268.8, rel=0.08)
+        assert np.min(stop) >= 214
+
+    def test_scalar_sampling_respects_minimum(self):
+        model = OverheadModel(RngHub(3).stream("ovh2"))
+        for _ in range(1000):
+            assert model.start_cycles() >= 160
+            assert model.stop_cycles() >= 214
+
+    def test_deterministic_given_stream(self):
+        a = OverheadModel(RngHub(7).stream("x"))
+        b = OverheadModel(RngHub(7).stream("x"))
+        assert [a.start_cycles() for _ in range(50)] == \
+               [b.start_cycles() for _ in range(50)]
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            OverheadModel(RngHub(1).stream("x"), start=(200.0, 100.0, 50.0))
+
+    def test_zero_model(self):
+        model = ZeroOverheadModel()
+        assert model.start_cycles() == 0
+        assert model.stop_cycles() == 0
+        assert model.atomic_cycles() == 0
+        assert model.disabled_check_cycles == 0

@@ -1,0 +1,66 @@
+"""Tests for the circular trace buffer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.tracebuf import TraceBuffer, TraceKind, TraceRecord
+
+
+def rec(i):
+    return TraceRecord(cycles=i, event_id=i % 7, kind=TraceKind.ENTRY)
+
+
+class TestTraceBuffer:
+    def test_append_and_drain_in_order(self):
+        buf = TraceBuffer(8)
+        for i in range(5):
+            buf.append(rec(i))
+        assert [r.cycles for r in buf.drain()] == [0, 1, 2, 3, 4]
+        assert len(buf) == 0
+
+    def test_overwrite_loses_oldest(self):
+        buf = TraceBuffer(3)
+        for i in range(5):
+            buf.append(rec(i))
+        assert buf.lost_count == 2
+        assert [r.cycles for r in buf.drain()] == [2, 3, 4]
+
+    def test_peek_does_not_consume(self):
+        buf = TraceBuffer(4)
+        buf.append(rec(1))
+        assert len(buf.peek()) == 1
+        assert len(buf) == 1
+
+    def test_drain_then_refill(self):
+        buf = TraceBuffer(2)
+        buf.append(rec(0))
+        buf.drain()
+        buf.append(rec(1))
+        buf.append(rec(2))
+        buf.append(rec(3))  # one lost
+        assert buf.lost_count == 1
+        assert [r.cycles for r in buf.drain()] == [2, 3]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(0)
+
+    def test_total_records_counts_everything(self):
+        buf = TraceBuffer(2)
+        for i in range(10):
+            buf.append(rec(i))
+        assert buf.total_records == 10
+
+
+@given(capacity=st.integers(1, 32), n=st.integers(0, 200))
+def test_property_last_capacity_records_survive(capacity, n):
+    """The buffer always holds the most recent min(n, capacity) records,
+    in order, and accounts for every overwrite."""
+    buf = TraceBuffer(capacity)
+    for i in range(n):
+        buf.append(rec(i))
+    kept = [r.cycles for r in buf.peek()]
+    expected = list(range(max(0, n - capacity), n))
+    assert kept == expected
+    assert buf.lost_count == max(0, n - capacity)
+    assert buf.total_records == n

@@ -1,0 +1,50 @@
+"""Determinism: identical seeds reproduce entire cluster runs bit-for-bit,
+and repeated runs in one process do not contaminate each other."""
+
+from repro.analysis.profiles import harvest_job
+from repro.cluster.launch import block_placement, launch_mpi_job
+from repro.cluster.machines import make_chiba
+from repro.sim.units import MSEC
+from repro.workloads.lu import LuParams, lu_app
+
+PARAMS = LuParams(niters=3, iter_compute_ns=8 * MSEC, halo_bytes=8192,
+                  sweep_msg_bytes=2048, inorm=2)
+
+
+def run_once(seed):
+    cluster = make_chiba(nnodes=4, seed=seed)
+    job = launch_mpi_job(cluster, 8, lu_app(PARAMS),
+                         placement=block_placement(2, 8))
+    job.run(limit_s=600)
+    data = harvest_job(job)
+    cluster.teardown()
+    return data
+
+
+def fingerprint(data):
+    return (
+        round(data.exec_time_s, 12),
+        tuple(r.exec_ns for r in data.ranks),
+        tuple(round(r.voluntary_sched_s(), 12) for r in data.ranks),
+        tuple(round(r.involuntary_sched_s(), 12) for r in data.ranks),
+        tuple(r.flow_rx_calls for r in data.ranks),
+        tuple(sorted(
+            (node, pid, name, perf)
+            for node, profs in data.node_profiles.items()
+            for pid, d in profs.items()
+            for name, perf in d.perf.items())),
+    )
+
+
+def test_same_seed_bitwise_identical():
+    assert fingerprint(run_once(123)) == fingerprint(run_once(123))
+
+
+def test_different_seed_differs():
+    assert fingerprint(run_once(123)) != fingerprint(run_once(124))
+
+
+def test_back_to_back_runs_do_not_interfere():
+    first = fingerprint(run_once(5))
+    run_once(99)  # unrelated run in between
+    assert fingerprint(run_once(5)) == first

@@ -1,0 +1,168 @@
+"""Smoke tests for the experiment harnesses at reduced scale.
+
+Full-scale reproduction (128 ranks) lives in the benchmark suite; these
+tests exercise every harness code path quickly and check the qualitative
+signals that do not need full scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig2_controlled as f2
+from repro.experiments import fig3, fig4, fig5_6, fig7, fig8, fig9_10
+from repro.experiments import table2, table3, table4
+from repro.experiments.common import (ChibaConfig, bench_lu_params,
+                                      run_chiba_app)
+from repro.workloads.lu import LuParams
+from repro.sim.units import MSEC
+
+
+SMALL_LU = LuParams(niters=4, iter_compute_ns=30 * MSEC, halo_bytes=16_384,
+                    sweep_msg_bytes=2_048, inorm=2, pipeline_fill_frac=0.03)
+
+
+@pytest.fixture(scope="module")
+def small_anomaly_run():
+    """A 16-rank analogue of the anomaly experiment (8 nodes x 2, the
+    node holding ranks 5 and 13 detects one CPU)."""
+    config = ChibaConfig(label="small-anomaly", nranks=16, procs_per_node=2,
+                         anomaly=True, seed=3)
+    # ANOMALY_NODE is 61 for the full-scale grid; patch a small-scale one.
+    import repro.experiments.common as common
+    old = common.ANOMALY_NODE
+    common.ANOMALY_NODE = 5
+    try:
+        data = run_chiba_app(config, "lu", SMALL_LU)
+    finally:
+        common.ANOMALY_NODE = old
+    return data
+
+
+class TestFig2:
+    def test_panel_ab_signals(self):
+        result = f2.run_fig2ab(seed=2)
+        # B: the interference process is the most active non-LU process
+        non_lu = {pid: t for pid, (comm, t) in result.node_processes.items()
+                  if not comm.startswith("lu") and pid != 0}
+        assert max(non_lu, key=non_lu.get) == result.interference_pid
+        # A (detail): only the perturbed node shows meaningful preemption
+        invol = result.invol_by_node
+        others = [v for n, v in invol.items() if n != result.perturbed_node]
+        assert invol[result.perturbed_node] > 2 * max(others, default=0.0) \
+            or invol[result.perturbed_node] > 0.02
+        assert "Figure 2-A" in f2.render_ab(result)
+
+    def test_panel_c_separates_local_and_remote(self):
+        result = f2.run_fig2c(seed=2)
+        vols = [v for v, _i in result.sched]
+        invs = [i for _v, i in result.sched]
+        top = int(np.argmax(invs))
+        # The rank suffering preemption shares CPU0 with the daemon...
+        assert top in (0, 1)
+        # ...and the unaffected ranks wait voluntarily instead.
+        assert sum(sorted(invs)[:2]) < 0.5 * max(invs)
+        assert vols[int(np.argmin(invs))] > vols[top]
+
+    def test_panel_d_merged_profile(self):
+        ab = f2.run_fig2ab(seed=2)
+        d = f2.build_fig2d(ab.data, rank=0)
+        # kernel rows are first-class in the merged view
+        kernel_names = {r.name for r in d.kernel_rows()}
+        assert "schedule_vol" in kernel_names
+        # user exclusive shrinks to "true" exclusive
+        for name, tau_excl in d.tau_only_excl_s.items():
+            assert d.merged_excl_s(name) <= tau_excl + 1e-9
+        # MPI_Recv: almost everything was kernel wait
+        assert d.merged_excl_s("MPI_Recv()") < d.tau_only_excl_s["MPI_Recv()"] * 0.2
+
+    def test_panel_e_trace_window(self):
+        result = f2.run_fig2e(seed=2)
+        assert result.window
+        names = result.kernel_events_in_window
+        for expected in ("sys_writev", "sock_sendmsg", "tcp_sendmsg"):
+            assert expected in names, names
+        text = f2.render_e(result)
+        assert "MPI_Send" in text
+
+
+class TestFig3_4:
+    def test_fig3_outliers_are_anomaly_ranks(self, small_anomaly_run):
+        result = fig3.build(small_anomaly_run)
+        # ranks 5 and 13 share the single-CPU node
+        assert 5 in result.low_outliers or 13 in result.low_outliers
+        assert "Figure 3" in fig3.render(result)
+
+    def test_fig4_sched_dominates_recv(self, small_anomaly_run):
+        result = fig4.build(small_anomaly_run, special_ranks=(13, 5))
+        mean = result.mean_by_group
+        assert mean.get("sched", 0) == max(mean.values())
+        # the anomaly ranks wait less inside MPI_Recv than average
+        assert result.rank61_by_group.get("sched", 0) < mean["sched"]
+        assert "Figure 4" in fig4.render(result)
+
+
+class TestFig5_6_7_8:
+    def test_sched_cdfs(self, small_anomaly_run):
+        runs = {"anomaly": small_anomaly_run}
+        vol = fig5_6.build(runs, "voluntary")
+        inv = fig5_6.build(runs, "involuntary")
+        assert len(vol.values["anomaly"]) == 16
+        # anomaly ranks: small voluntary, large involuntary
+        invs = inv.values["anomaly"]
+        top_inv = sorted(range(16), key=lambda r: -invs[r])[:2]
+        assert set(top_inv) == {5, 13}
+        assert "Figure 5" in fig5_6.render(vol)
+        assert "Figure 6" in fig5_6.render(inv)
+
+    def test_fig7_daemons_minuscule(self, small_anomaly_run):
+        result = fig7.build(small_anomaly_run, node_name="ccn005")
+        assert len(result.lu_pids) == 2
+        assert result.daemon_max_s() < 0.25 * result.lu_min_s()
+        assert "Figure 7" in fig7.render(result)
+
+    def test_fig8_build(self, small_anomaly_run):
+        result = fig8.build({"x": small_anomaly_run})
+        assert len(result.values["x"]) == 16
+        assert all(v >= 0 for v in result.values["x"])
+        assert "Figure 8" in fig8.render(result)
+
+
+class TestFig9Configs:
+    def test_config_labels(self):
+        labels = [c.label for c in fig9_10.FIG9_CONFIGS]
+        assert labels == ["128x1", "128x1 Pin,IRQ CPU1", "64x2 Pinned,I-Bal"]
+        control = fig9_10.FIG9_CONFIGS[1]
+        assert control.pin and control.cpu_offset == 1
+        assert control.irq_target_cpu == 1
+
+
+class TestTables:
+    def test_table3_small(self):
+        params = LuParams(niters=3, iter_compute_ns=40 * MSEC,
+                          halo_bytes=16_384, sweep_msg_bytes=2_048, inorm=0,
+                          pipeline_fill_frac=0.03)
+        rows = table3.build(nranks=4, seeds=(1,), params=params)
+        by_config = {r.config: r for r in rows}
+        assert by_config["Base"].pct_avg_slow == 0.0
+        # compiled-but-disabled is indistinguishable from vanilla
+        assert by_config["Ktau Off"].pct_avg_slow < 0.5
+        # full instrumentation costs something, but single digits
+        assert 0.0 < by_config["ProfAll"].pct_avg_slow < 8.0
+        assert by_config["ProfSched"].pct_avg_slow <= \
+            by_config["ProfAll"].pct_avg_slow
+        assert by_config["ProfAll+Tau"].pct_avg_slow >= \
+            by_config["ProfAll"].pct_avg_slow * 0.9
+        assert "Table 3" in table3.render(rows)
+
+    def test_table4_matches_paper(self):
+        rows = table4.build(samples=50_000)
+        start, stop = rows
+        assert start.mean == pytest.approx(244.4, rel=0.05)
+        assert start.min >= 160
+        assert stop.mean == pytest.approx(295.3, rel=0.05)
+        assert stop.min >= 214
+        assert "Table 4" in table4.render(rows)
+
+    def test_table2_paper_reference_data(self):
+        assert table2.PAPER_TABLE2["64x2 Anomaly"][1] == 73.2
+        assert list(table2.ROW_ORDER)[0] == "128x1"

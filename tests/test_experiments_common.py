@@ -1,0 +1,97 @@
+"""Tests for the experiment configuration machinery itself."""
+
+import pytest
+
+from repro.experiments import chiba
+from repro.experiments.common import (ANOMALY_NODE, STANDARD_CHIBA_CONFIGS,
+                                      ChibaConfig, bench_lu_params,
+                                      bench_sweep_params, run_chiba_app)
+from repro.workloads.lu import LuParams
+from repro.sim.units import MSEC
+
+TINY_LU = LuParams(niters=2, iter_compute_ns=5 * MSEC, halo_bytes=4096,
+                   sweep_msg_bytes=2048, inorm=0)
+
+
+class TestConfigs:
+    def test_standard_config_labels(self):
+        labels = [c.label for c in STANDARD_CHIBA_CONFIGS]
+        assert labels == ["128x1", "64x2 Anomaly", "64x2", "64x2 Pinned",
+                          "64x2 Pin,I-Bal"]
+
+    def test_anomaly_requires_two_per_node(self):
+        config = ChibaConfig(label="bad", nranks=8, procs_per_node=1,
+                             anomaly=True)
+        with pytest.raises(ValueError):
+            run_chiba_app(config, "lu", TINY_LU)
+
+    def test_unknown_app_rejected(self):
+        config = ChibaConfig(label="x", nranks=4)
+        with pytest.raises(ValueError, match="unknown app"):
+            run_chiba_app(config, "hpl", TINY_LU)
+
+    def test_with_seed_is_pure(self):
+        config = ChibaConfig(label="x", nranks=4)
+        other = config.with_seed(9)
+        assert other.seed == 9 and config.seed == 1
+        assert other.label == config.label
+
+    def test_anomaly_node_holds_the_famous_ranks(self):
+        from repro.cluster.launch import block_placement
+
+        place = block_placement(2, 128)
+        on_anomaly = [r for r in range(128) if place(r)[0] == ANOMALY_NODE]
+        assert on_anomaly == [61, 125]
+
+    def test_bench_params_scaling(self):
+        full = bench_lu_params()
+        half = bench_lu_params(0.5)
+        assert half.iter_compute_ns == full.iter_compute_ns // 2
+        assert half.niters == full.niters
+        sweep = bench_sweep_params(0.5)
+        assert sweep.octant_compute_ns == bench_sweep_params().octant_compute_ns // 2
+
+
+class TestChibaCache:
+    def test_memoised_runs_are_identical_objects(self):
+        config = ChibaConfig(label="cache-test", nranks=4, seed=77)
+        chiba.clear_cache()
+        first = chiba.get_run(config, "lu", scale=0.02)
+        second = chiba.get_run(config, "lu", scale=0.02)
+        assert first is second
+        chiba.clear_cache()
+        third = chiba.get_run(config, "lu", scale=0.02)
+        assert third is not first
+        assert third.exec_time_s == first.exec_time_s  # deterministic
+        chiba.clear_cache()
+
+    def test_distinct_keys_not_conflated(self):
+        config = ChibaConfig(label="cache-test", nranks=4, seed=77)
+        chiba.clear_cache()
+        lu = chiba.get_run(config, "lu", scale=0.02)
+        other_seed = chiba.get_run(config.with_seed(78), "lu", scale=0.02)
+        assert lu is not other_seed
+        chiba.clear_cache()
+
+
+class TestRunChibaApp:
+    def test_enabled_groups_respected(self):
+        from repro.core.points import Group
+
+        config = ChibaConfig(label="sched-only", nranks=4,
+                             enabled_groups=frozenset({Group.SCHED}),
+                             tau_enabled=False)
+        data = run_chiba_app(config, "lu", TINY_LU)
+        for rank in data.ranks:
+            groups = {rank.kprofile.groups[n] for n in rank.kprofile.perf}
+            assert groups <= {"sched"}
+
+    def test_sweep3d_app_selectable(self):
+        from repro.workloads.sweep3d import Sweep3dParams
+
+        config = ChibaConfig(label="s3d", nranks=4)
+        params = Sweep3dParams(niters=1, octant_compute_ns=2 * MSEC,
+                               face_bytes=1024)
+        data = run_chiba_app(config, "sweep3d", params)
+        assert data.exec_time_s > 0
+        assert "sweep()" in data.ranks[0].uprofile.perf

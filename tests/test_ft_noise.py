@@ -1,0 +1,90 @@
+"""Tests for MPI_Alltoall, the FT workload, and the noise experiment."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.launch import block_placement, launch_mpi_job
+from repro.cluster.machines import make_chiba
+from repro.experiments.noise import NoiseParams, run_noise_point
+from repro.sim.units import MSEC
+from repro.workloads.ft import FtParams, ft_app
+
+
+def run_app(nranks, app, seed=1, tau=True):
+    cluster = make_chiba(nnodes=nranks, seed=seed)
+    job = launch_mpi_job(cluster, nranks, app,
+                         placement=block_placement(1, nranks),
+                         tau_enabled=tau, start_daemons=False)
+    job.run(limit_s=600)
+    return job, cluster
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("nranks", [2, 4, 8, 6])  # pow2 and not
+    def test_everyone_exchanges_with_everyone(self, nranks):
+        def app(ctx, mpi):
+            yield from mpi.alltoall(1000)
+
+        job, cluster = run_app(nranks, app)
+        assert all(t.exit_code == 0 for t in job.tasks)
+        # every rank moved (n-1) x payload in each direction
+        for rank in range(nranks):
+            dump = job.profilers[rank].dump()
+            assert "MPI_Alltoall()" in dump.perf
+        # network-level check: (n)(n-1) directed flows exist
+        flows = sum(1 for (ch, s) in job.cluster.network.connections()
+                    if s.tx_bytes_total > 0)
+        assert flows == nranks * (nranks - 1)
+        cluster.teardown()
+
+    def test_byte_conservation(self):
+        payload = 3000
+
+        def app(ctx, mpi):
+            yield from mpi.alltoall(payload)
+
+        job, cluster = run_app(4, app)
+        for _ch, sock in job.cluster.network.connections():
+            assert sock.rx_bytes_total == sock.tx_bytes_total
+            assert sock.rx_available == 0
+        cluster.teardown()
+
+
+class TestFt:
+    PARAMS = FtParams(niters=2, fft_compute_ns=8 * MSEC, slab_bytes=2048)
+
+    def test_completes_and_profiles(self):
+        job, cluster = run_app(8, ft_app(self.PARAMS))
+        dump = job.profilers[0].dump()
+        assert dump.perf["transpose"][0] == 2
+        assert dump.perf["fft_local"][0] == 4
+        assert "checksum" in dump.perf
+        cluster.teardown()
+
+    def test_transpose_dominates_network(self):
+        """FT's all-to-all produces the dense O(P^2) flow pattern."""
+        job, cluster = run_app(8, ft_app(self.PARAMS))
+        flows = sum(1 for (ch, s) in job.cluster.network.connections()
+                    if isinstance(ch, tuple) and s.tx_bytes_total > 0)
+        assert flows == 8 * 7
+        cluster.teardown()
+
+
+class TestNoiseAmplification:
+    def test_slowdown_grows_with_scale(self):
+        params = NoiseParams(steps=30, quantum_ns=2 * MSEC)
+        small = run_noise_point(4, params)
+        large = run_noise_point(32, params)
+        assert large.slowdown_pct > 1.5 * small.slowdown_pct
+        assert small.slowdown_pct > 1.0
+
+    def test_ktau_attributes_the_noise(self):
+        params = NoiseParams(steps=30, quantum_ns=2 * MSEC)
+        result = run_noise_point(16, params)
+        data = result.data_noisy
+        # the noise arrives as (small) involuntary hits and (large)
+        # voluntary waits at the collectives
+        inv = [r.involuntary_sched_s() for r in data.ranks]
+        vol = [r.voluntary_sched_s() for r in data.ranks]
+        assert max(inv) > 0
+        assert np.median(vol) > 10 * np.median(inv)

@@ -1,0 +1,106 @@
+"""Tests for the syscall layer as a whole (dispatch, spans, errors)."""
+
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.params import KernelParams
+from repro.kernel.syscalls import SyscallError
+from repro.sim.engine import Engine
+from repro.sim.rng import RngHub
+from repro.sim.units import MSEC, SEC
+
+
+def make_kernel():
+    engine = Engine()
+    params = KernelParams(ncpus=1, timer_tick_ns=None, minor_fault_prob=0.0,
+                          smp_compute_dilation=0.0)
+    return engine, Kernel(engine, params, "sys", RngHub(1))
+
+
+def test_unknown_syscall_raises():
+    engine, kernel = make_kernel()
+    caught = []
+
+    def app(ctx):
+        try:
+            yield from ctx.syscall("sys_does_not_exist")
+        except SyscallError as exc:
+            caught.append(str(exc))
+
+    kernel.spawn(app, "app")
+    engine.run_until_idle()
+    assert caught and "sys_does_not_exist" in caught[0]
+
+
+def test_gettimeofday_returns_microseconds():
+    engine, kernel = make_kernel()
+    values = []
+
+    def app(ctx):
+        yield from ctx.compute(3 * MSEC)
+        t = yield from ctx.gettimeofday()
+        values.append(t)
+
+    kernel.spawn(app, "app")
+    engine.run_until_idle()
+    assert values and values[0] >= 3000  # at least 3000 us
+
+
+def test_every_syscall_records_its_span():
+    engine, kernel = make_kernel()
+
+    def app(ctx):
+        yield from ctx.syscall("sys_getppid")
+        yield from ctx.gettimeofday()
+        yield from ctx.sleep(1 * MSEC)
+
+    task = kernel.spawn(app, "app")
+    engine.run_until_idle()
+    data = kernel.ktau.zombies[task.pid]
+    names = {kernel.ktau.registry.name_of(eid) for eid in data.profile}
+    assert {"sys_getppid", "sys_gettimeofday", "sys_nanosleep"} <= names
+
+
+def test_syscall_span_survives_blocking():
+    engine, kernel = make_kernel()
+
+    def app(ctx):
+        yield from ctx.sleep(10 * MSEC)
+
+    task = kernel.spawn(app, "app")
+    engine.run_until_idle()
+    data = kernel.ktau.zombies[task.pid]
+    nanosleep_id = kernel.ktau.registry.id_of("sys_nanosleep")
+    vol_id = kernel.ktau.registry.id_of("schedule_vol")
+    incl = data.profile[nanosleep_id].incl_cycles
+    excl = data.profile[nanosleep_id].excl_cycles
+    slept = data.profile[vol_id].incl_cycles
+    # the sleep is nested inside sys_nanosleep: inclusive covers it,
+    # exclusive does not
+    assert incl >= slept
+    assert excl < kernel.clock.cycles_for_ns(1 * MSEC)
+
+
+def test_task_killed_mid_syscall_closes_spans():
+    engine, kernel = make_kernel()
+
+    def app(ctx):
+        yield from ctx.sleep(10 * SEC)
+
+    task = kernel.spawn(app, "app")
+    engine.schedule(5 * MSEC, lambda: kernel.send_signal(task, 9))
+    engine.run_until_idle()
+    data = kernel.ktau.zombies[task.pid]
+    # frames were closed at exit time: the activation stack fully unwound
+    assert not data.stack
+
+
+def test_sys_exit_effect():
+    engine, kernel = make_kernel()
+
+    def app(ctx):
+        yield from ctx.syscall("sys_exit", code=7)
+
+    task = kernel.spawn(app, "app")
+    engine.run_until_idle()
+    assert task.exit_code == 7

@@ -1,0 +1,146 @@
+"""Tests for the MG workload, extra /proc files, and overhead compensation."""
+
+import pytest
+
+from repro.analysis.compensate import (compensate, estimated_overhead_cycles,
+                                       total_estimated_overhead_s)
+from repro.cluster.launch import block_placement, launch_mpi_job
+from repro.cluster.machines import make_chiba
+from repro.core.config import KtauBuildConfig
+from repro.core.libktau import LibKtau
+from repro.sim.units import MSEC
+from repro.workloads.mg import MgParams, mg_app
+
+
+class TestMgWorkload:
+    PARAMS = MgParams(niters=2, nlevels=3, fine_compute_ns=8 * MSEC,
+                      fine_halo_bytes=16_384)
+
+    def run(self, nranks=4, params=None):
+        cluster = make_chiba(nnodes=nranks, seed=31)
+        job = launch_mpi_job(cluster, nranks, mg_app(params or self.PARAMS),
+                             placement=block_placement(1, nranks),
+                             start_daemons=False)
+        job.run(limit_s=600)
+        return job, cluster
+
+    def test_completes(self):
+        job, cluster = self.run()
+        assert all(t.exit_code == 0 for t in job.tasks)
+        cluster.teardown()
+
+    def test_vcycle_routines_profiled(self):
+        job, cluster = self.run()
+        dump = job.profilers[0].dump()
+        for routine in ("mg_vcycle", "smooth_L0", "rprj3_L0", "coarse_solve",
+                        "interp_L0", "psinv_L0", "comm3", "norm2u3"):
+            assert routine in dump.perf, routine
+        cluster.teardown()
+
+    def test_level_message_sizes_shrink(self):
+        params = self.PARAMS
+        assert params.level_halo_bytes(0) > params.level_halo_bytes(1) > \
+            params.level_halo_bytes(2)
+        assert params.level_compute_ns(0) > params.level_compute_ns(2)
+
+    def test_packet_sizes_reflect_hierarchy(self):
+        """The atomic packet-size stats span the level hierarchy: MTU-size
+        segments from the fine grid and sub-MTU packets from coarse grids."""
+        job, cluster = self.run()
+        node = job.world.rank_nodes[0]
+        lib = LibKtau(node.kernel.ktau_proc)
+        dump = lib.read_profiles(include_zombies=True)[job.tasks[0].pid]
+        count, total, mn, mx = dump.atomic["net.pkt_tx_bytes"]
+        assert mx == 1500  # fine-level halos segment at the MTU
+        assert mn < 1500  # coarse-level messages fit one small packet
+        cluster.teardown()
+
+    def test_fine_level_dominates_compute(self):
+        job, cluster = self.run()
+        dump = job.profilers[0].dump()
+        hz = dump.hz
+        fine = dump.perf["smooth_L0"][2] / hz
+        coarse = dump.perf["smooth_L2"][2] / hz
+        assert fine > 5 * coarse
+        cluster.teardown()
+
+
+class TestProcFiles:
+    def test_proc_interrupts_shows_cpu0_concentration(self):
+        params = MgParams(niters=1, nlevels=2, fine_compute_ns=4 * MSEC,
+                          fine_halo_bytes=8_192)
+        cluster = make_chiba(nnodes=2, seed=32)
+        job = launch_mpi_job(cluster, 2, mg_app(params),
+                             placement=block_placement(1, 2),
+                             start_daemons=False)
+        job.run(limit_s=300)
+        text = cluster.nodes[0].kernel.proc_interrupts()
+        assert "CPU0" in text and "CPU1" in text
+        counts = cluster.nodes[0].kernel.irq.irq_counts
+        assert counts[0] > counts[1]  # no irq balancing: device irqs on CPU0
+        cluster.teardown()
+
+    def test_proc_stat_accounts_busy_and_idle(self):
+        from repro.kernel.kernel import Kernel
+        from repro.kernel.params import KernelParams
+        from repro.sim.engine import Engine
+        from repro.sim.rng import RngHub
+        from repro.sim.units import SEC
+
+        engine = Engine()
+        kernel = Kernel(engine, KernelParams(timer_tick_ns=None), "s",
+                        RngHub(1))
+
+        def app(ctx):
+            yield from ctx.compute(2 * SEC)
+
+        kernel.spawn(app, "busy", cpus_allowed={0})
+        engine.run(until=4 * SEC)
+        lines = kernel.proc_stat().splitlines()
+        cpu0_busy = int(lines[0].split()[1])
+        cpu1_busy = int(lines[1].split()[1])
+        assert cpu0_busy >= 190  # ~2s at USER_HZ=100
+        assert cpu1_busy < 10
+
+
+class TestCompensation:
+    def test_estimate_formula(self):
+        assert estimated_overhead_cycles(100) == int(100 * (244.4 + 295.3))
+
+    def test_compensated_profile_reduces_times(self):
+        params = MgParams(niters=1, nlevels=2, fine_compute_ns=4 * MSEC,
+                          fine_halo_bytes=8_192)
+        cluster = make_chiba(nnodes=2, seed=33,
+                             ktau=KtauBuildConfig(callgraph=True))
+        job = launch_mpi_job(cluster, 2, mg_app(params),
+                             placement=block_placement(1, 2),
+                             start_daemons=False)
+        job.run(limit_s=300)
+        node = job.world.rank_nodes[0]
+        lib = LibKtau(node.kernel.ktau_proc)
+        dump = lib.read_profiles(include_zombies=True)[job.tasks[0].pid]
+        fixed = compensate(dump)
+        for name, (count, incl, excl) in dump.perf.items():
+            fcount, fincl, fexcl = fixed.perf[name]
+            assert fcount == count
+            assert fincl <= incl
+            assert fexcl <= excl
+        # a high-count event loses a measurable amount
+        busiest = max(dump.perf, key=lambda n: dump.perf[n][0])
+        assert fixed.perf[busiest][2] < dump.perf[busiest][2]
+        # parents' inclusive compensation >= their own-only correction
+        writev = dump.perf.get("sys_writev")
+        if writev is not None:
+            own = estimated_overhead_cycles(writev[0])
+            assert dump.perf["sys_writev"][1] - fixed.perf["sys_writev"][1] > own
+        cluster.teardown()
+
+    def test_total_overhead_estimate(self):
+        from repro.core.wire import TaskProfileDump
+
+        dump = TaskProfileDump(pid=1, comm="x")
+        dump.perf["a"] = (10, 1000, 1000)
+        dump.perf["b"] = (5, 500, 500)
+        est = total_estimated_overhead_s(dump, hz=1e9)
+        # int() truncation in the cycle estimate: allow one cycle of slack
+        assert est == pytest.approx(15 * (244.4 + 295.3) / 1e9, abs=2e-9)

@@ -1,0 +1,153 @@
+"""Tests for the OProfile-like sampling baseline and its comparison
+against KTAU's direct measurement."""
+
+import pytest
+
+from repro.core.libktau import LibKtau
+from repro.kernel.kernel import Kernel
+from repro.kernel.params import KernelParams
+from repro.oprofile import (OProfileDaemon, OProfileSampler,
+                            compare_with_ktau, estimated_flat_profile)
+from repro.oprofile.compare import sampling_blindness_s, render_comparison
+from repro.sim.engine import Engine
+from repro.sim.rng import RngHub
+from repro.sim.units import MSEC, SEC, USEC
+
+
+def make_kernel(ncpus=1):
+    engine = Engine()
+    params = KernelParams(ncpus=ncpus, timer_tick_ns=None,
+                          minor_fault_prob=0.0, smp_compute_dilation=0.0)
+    return engine, Kernel(engine, params, "oprof", RngHub(1))
+
+
+class TestSampler:
+    def test_idle_cpu_samples_as_idle(self):
+        engine, kernel = make_kernel()
+        sampler = OProfileSampler(kernel, period_ns=1 * MSEC)
+        sampler.start()
+        engine.run(until=50 * MSEC)
+        sampler.stop()
+        samples = sampler.drain()
+        assert samples
+        assert all(s.symbol == "poll_idle" for s in samples)
+
+    def test_user_compute_sampled_with_tau_context(self):
+        from repro.tau.profiler import TauProfiler
+
+        engine, kernel = make_kernel()
+        sampler = OProfileSampler(kernel, period_ns=1 * MSEC)
+
+        def app(ctx):
+            tau = TauProfiler(ctx.task)
+            ctx.task.tau = tau
+            with tau.timer("hot_loop"):
+                yield from ctx.compute(80 * MSEC)
+
+        kernel.spawn(app, "app")
+        sampler.start()
+        engine.run(until=200 * MSEC)
+        sampler.stop()
+        symbols = [s.symbol for s in sampler.drain()]
+        assert symbols.count("hot_loop") >= 60  # ~80 expected
+
+    def test_kernel_context_sampled_from_ktau_stack(self):
+        engine, kernel = make_kernel()
+        sampler = OProfileSampler(kernel, period_ns=500 * USEC)
+
+        def app(ctx):
+            for _ in range(40):
+                yield from ctx.syscall("sys_getppid")
+                yield from ctx.compute(1 * MSEC)
+
+        kernel.spawn(app, "app")
+        sampler.start()
+        engine.run(until=1 * SEC)
+        sampler.stop()
+        symbols = {s.symbol for s in sampler.drain()}
+        assert "user" in symbols  # compute without TAU context
+
+    def test_buffer_overflow_drops_samples(self):
+        engine, kernel = make_kernel()
+        sampler = OProfileSampler(kernel, period_ns=100 * USEC,
+                                  buffer_capacity=16)
+        sampler.start()
+        engine.run(until=50 * MSEC)
+        sampler.stop()
+        assert sampler.dropped > 0
+        assert len(sampler.drain()) <= 16
+
+    def test_daemon_drains_and_perturbs(self):
+        engine, kernel = make_kernel()
+        sampler = OProfileSampler(kernel, period_ns=1 * MSEC,
+                                  buffer_capacity=64)
+        daemon = OProfileDaemon(sampler, period_ns=40 * MSEC)
+        sampler.start()
+        task = daemon.start()
+        engine.run(until=500 * MSEC)
+        sampler.stop()
+        daemon.stop()
+        assert len(daemon.samples) > 300  # few drops thanks to the daemon
+        assert task.utime_ns > 0  # the daemon's own perturbation
+
+    def test_sampling_interrupt_costs_time(self):
+        engine, kernel = make_kernel()
+        finish = []
+
+        def app(ctx):
+            yield from ctx.compute(100 * MSEC)
+            finish.append(ctx.now)
+
+        kernel.spawn(app, "app")
+        sampler = OProfileSampler(kernel, period_ns=500 * USEC,
+                                  sample_cost_ns=10 * USEC)
+        sampler.start()
+        engine.run(until=1 * SEC)
+        sampler.stop()
+        # ~200 interruptions x 10us stretch the 100ms burst measurably
+        assert finish[0] >= 101 * MSEC
+
+
+class TestComparison:
+    def run_workload(self):
+        engine, kernel = make_kernel()
+        sampler = OProfileSampler(kernel, period_ns=200 * USEC)
+
+        def app(ctx):
+            for _ in range(30):
+                yield from ctx.compute(3 * MSEC)
+                yield from ctx.sleep(3 * MSEC)  # blocked: invisible to sampling
+
+        task = kernel.spawn(app, "app")
+        sampler.start()
+        engine.run(until=5 * SEC)
+        sampler.stop()
+        samples = sampler.drain()
+        lib = LibKtau(kernel.ktau_proc)
+        kdump = lib.read_profiles(include_zombies=True)[task.pid]
+        return samples, kdump, kernel, task
+
+    def test_estimated_profile_scales_with_samples(self):
+        samples, kdump, kernel, task = self.run_workload()
+        flat = estimated_flat_profile(samples, period_ns=200 * USEC,
+                                      pid=task.pid)
+        # ~90ms of on-CPU user time estimated within statistical error
+        assert flat.get("user", 0.0) == pytest.approx(0.090, rel=0.25)
+
+    def test_blocked_time_is_invisible_to_sampling(self):
+        samples, kdump, kernel, task = self.run_workload()
+        rows = compare_with_ktau(samples, 200 * USEC, kdump,
+                                 kernel.clock.hz, pid=task.pid)
+        blind = sampling_blindness_s(rows)
+        # ~90ms of voluntary wait measured by KTAU, ~0 sampled
+        assert blind > 0.07
+        by_name = {r.symbol: r for r in rows}
+        assert by_name["schedule_vol"].sampled_s < 0.01
+        assert by_name["schedule_vol"].measured_s > 0.08
+
+    def test_render(self):
+        samples, kdump, kernel, task = self.run_workload()
+        rows = compare_with_ktau(samples, 200 * USEC, kdump,
+                                 kernel.clock.hz, pid=task.pid)
+        text = render_comparison(rows)
+        assert "OProfile estimate" in text

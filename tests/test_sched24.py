@@ -1,0 +1,188 @@
+"""Tests for the Linux 2.4 (global runqueue / goodness) scheduler."""
+
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.params import KernelParams, SchedParams
+from repro.kernel.sched24 import Scheduler24
+from repro.kernel.task import TaskState
+from repro.sim.engine import Engine
+from repro.sim.rng import RngHub
+from repro.sim.units import MSEC, SEC
+
+
+def make_kernel(ncpus=2, timeslice_ms=50):
+    engine = Engine()
+    params = KernelParams(
+        ncpus=ncpus, timer_tick_ns=None, minor_fault_prob=0.0,
+        smp_compute_dilation=0.0,
+        sched=SchedParams(policy="legacy24",
+                          timeslice_ns=timeslice_ms * MSEC))
+    kernel = Kernel(engine, params, "n24", RngHub(1))
+    assert isinstance(kernel.sched, Scheduler24)
+    return engine, kernel
+
+
+class TestBasics:
+    def test_policy_selected(self):
+        engine, kernel = make_kernel()
+
+    def test_unknown_policy_rejected(self):
+        engine = Engine()
+        params = KernelParams(sched=SchedParams(policy="cfs"))
+        with pytest.raises(ValueError):
+            Kernel(engine, params, "bad", RngHub(1))
+
+    def test_single_task_runs_to_completion(self):
+        engine, kernel = make_kernel()
+        done = []
+
+        def app(ctx):
+            yield from ctx.compute(200 * MSEC)
+            done.append(ctx.now)
+
+        task = kernel.spawn(app, "app")
+        engine.run(until=5 * SEC)
+        assert task.state is TaskState.EXITED
+        assert done and done[0] >= 200 * MSEC
+
+    def test_blocking_and_wakeup(self):
+        engine, kernel = make_kernel()
+        times = []
+
+        def app(ctx):
+            yield from ctx.sleep(30 * MSEC)
+            times.append(ctx.now)
+
+        kernel.spawn(app, "app")
+        engine.run(until=5 * SEC)
+        assert times and times[0] >= 30 * MSEC
+
+
+class TestGlobalQueue:
+    def test_idle_cpu_takes_work_without_stealing(self):
+        engine, kernel = make_kernel(ncpus=2)
+        finish = {}
+
+        def burn(name):
+            def behavior(ctx):
+                yield from ctx.compute(100 * MSEC)
+                finish[name] = ctx.now
+            return behavior
+
+        # both enter the single global queue; two CPUs drain it in parallel
+        kernel.spawn(burn("a"), "a", start_cpu=0)
+        kernel.spawn(burn("b"), "b", start_cpu=0)
+        engine.run(until=5 * SEC)
+        assert max(finish.values()) < 150 * MSEC
+
+    def test_round_robin_via_epochs(self):
+        engine, kernel = make_kernel(ncpus=1, timeslice_ms=20)
+        finish = {}
+
+        def burn(name):
+            def behavior(ctx):
+                yield from ctx.compute(100 * MSEC)
+                finish[name] = ctx.now
+            return behavior
+
+        a = kernel.spawn(burn("a"), "a")
+        b = kernel.spawn(burn("b"), "b")
+        engine.run(until=5 * SEC)
+        # time-shared: both finish near 200ms
+        assert finish["a"] > 150 * MSEC
+        assert finish["b"] > 150 * MSEC
+        assert a.nivcsw >= 2 and b.nivcsw >= 2
+
+    def test_affinity_bonus_keeps_task_on_cpu(self):
+        engine, kernel = make_kernel(ncpus=2)
+        cpus_seen = set()
+
+        def app(ctx):
+            for _ in range(10):
+                yield from ctx.compute(3 * MSEC)
+                cpus_seen.add(ctx.task.last_cpu)
+                yield from ctx.sleep(2 * MSEC)
+
+        kernel.spawn(app, "sticky", start_cpu=1)
+        engine.run(until=5 * SEC)
+        assert cpus_seen == {1}
+
+    def test_pinning_respected(self):
+        engine, kernel = make_kernel(ncpus=2)
+        cpus_seen = set()
+
+        def app(ctx):
+            for _ in range(10):
+                yield from ctx.compute(3 * MSEC)
+                cpus_seen.add(ctx.task.last_cpu)
+                yield from ctx.sleep(1 * MSEC)
+
+        kernel.spawn(app, "pinned", cpus_allowed={0})
+        # competition so the pinned task cannot simply float
+        def hog(ctx):
+            yield from ctx.compute(80 * MSEC)
+        kernel.spawn(hog, "hog", cpus_allowed={0})
+        engine.run(until=5 * SEC)
+        assert cpus_seen == {0}
+
+
+class TestEpochSemantics:
+    def test_sleeper_accumulates_counter(self):
+        """2.4 rewarded sleepers: after an epoch, a task that slept keeps
+        half its counter plus the base — so a woken sleeper preempts a
+        CPU hog that burned its slice."""
+        engine, kernel = make_kernel(ncpus=1, timeslice_ms=20)
+        latency = []
+
+        def hog(ctx):
+            yield from ctx.compute(300 * MSEC)
+
+        def sleeper(ctx):
+            yield from ctx.sleep(100 * MSEC)
+            t0 = ctx.now
+            yield from ctx.compute(1 * MSEC)
+            latency.append(ctx.now - t0)
+
+        hog_task = kernel.spawn(hog, "hog")
+        kernel.spawn(sleeper, "sleeper")
+        engine.run(until=5 * SEC)
+        assert latency and latency[0] < 25 * MSEC
+        assert hog_task.nivcsw >= 1
+
+    def test_ktau_still_measures_under_24(self):
+        engine, kernel = make_kernel(ncpus=1, timeslice_ms=10)
+
+        def burn(ctx):
+            yield from ctx.compute(50 * MSEC)
+
+        a = kernel.spawn(burn, "a")
+        kernel.spawn(burn, "b")
+        engine.run(until=5 * SEC)
+        invol = kernel.ktau.registry.id_of("schedule")
+        assert invol is not None
+        data = kernel.ktau.zombies[a.pid]
+        assert data.profile[invol].count >= 1
+        assert not data.stack
+
+
+class TestNeuronicRuns24:
+    def test_factory_policy(self):
+        from repro.cluster.machines import make_neuronic
+
+        cluster = make_neuronic(nnodes=2)
+        assert isinstance(cluster.nodes[0].kernel.sched, Scheduler24)
+
+    def test_lu_completes_on_neuronic(self):
+        from repro.cluster.launch import block_placement, launch_mpi_job
+        from repro.cluster.machines import make_neuronic
+        from repro.workloads.lu import LuParams, lu_app
+
+        params = LuParams(niters=2, iter_compute_ns=5 * MSEC,
+                          halo_bytes=4096, sweep_msg_bytes=2048, inorm=0)
+        cluster = make_neuronic(nnodes=4)
+        job = launch_mpi_job(cluster, 8, lu_app(params),
+                             placement=block_placement(2, 8))
+        job.run(limit_s=300)
+        assert all(t.exit_code == 0 for t in job.tasks)
+        cluster.teardown()

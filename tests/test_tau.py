@@ -1,0 +1,182 @@
+"""Tests for the TAU user-level profiler and the user/kernel merge."""
+
+import pytest
+
+from repro.core.wire import TaskProfileDump
+from repro.kernel.kernel import Kernel
+from repro.kernel.params import KernelParams
+from repro.sim.engine import Engine
+from repro.sim.rng import RngHub
+from repro.sim.units import MSEC
+from repro.tau.merge import (kernel_callgroups_in_context,
+                             kernel_events_in_context,
+                             kernel_time_by_user_context, merged_profile)
+from repro.tau.profiler import TauProfiler
+
+
+def make_kernel():
+    engine = Engine()
+    params = KernelParams(ncpus=1, timer_tick_ns=None, minor_fault_prob=0.0,
+                          smp_compute_dilation=0.0)
+    return engine, Kernel(engine, params, "tau", RngHub(1))
+
+
+class TestTauProfiler:
+    def test_inclusive_exclusive_nesting(self):
+        engine, kernel = make_kernel()
+        dumps = []
+
+        def app(ctx):
+            tau = TauProfiler(ctx.task)
+            ctx.task.tau = tau
+            with tau.timer("main()"):
+                with tau.timer("compute"):
+                    yield from ctx.compute(10 * MSEC)
+                with tau.timer("other"):
+                    yield from ctx.compute(5 * MSEC)
+            dumps.append(tau.dump())
+
+        kernel.spawn(app, "app")
+        engine.run_until_idle()
+        dump = dumps[0]
+        hz = dump.hz
+        main_count, main_incl, main_excl = dump.perf["main()"]
+        assert main_count == 1
+        assert main_incl / hz >= 0.015
+        assert main_excl / hz < 0.001  # nearly all time in children
+        assert dump.perf["compute"][1] / hz >= 0.010
+
+    def test_timer_spans_blocking(self):
+        engine, kernel = make_kernel()
+        dumps = []
+
+        def app(ctx):
+            tau = TauProfiler(ctx.task)
+            ctx.task.tau = tau
+            with tau.timer("MPI_Recv()"):
+                yield from ctx.sleep(20 * MSEC)
+            dumps.append(tau.dump())
+
+        kernel.spawn(app, "app")
+        engine.run_until_idle()
+        # wall-clock semantics: the blocked time is inside the timer
+        assert dumps[0].perf["MPI_Recv()"][1] / dumps[0].hz >= 0.020
+
+    def test_stack_mismatch_raises(self):
+        engine, kernel = make_kernel()
+        task = kernel.spawn(lambda ctx: iter(()), "x")
+        tau = TauProfiler(task)
+        tau.start("a")
+        with pytest.raises(RuntimeError):
+            tau.stop("b")
+
+    def test_context_published_to_ktau(self):
+        engine, kernel = make_kernel()
+        seen = []
+
+        def app(ctx):
+            tau = TauProfiler(ctx.task)
+            ctx.task.tau = tau
+            with tau.timer("outer"):
+                with tau.timer("inner"):
+                    seen.append(ctx.task.ktau.user_context)
+                    yield from ctx.compute(1000)
+                seen.append(ctx.task.ktau.user_context)
+            seen.append(ctx.task.ktau.user_context)
+
+        kernel.spawn(app, "app")
+        engine.run_until_idle()
+        assert seen == ["inner", "outer", None]
+
+    def test_overhead_charged_into_time(self):
+        engine, kernel = make_kernel()
+        finish = []
+
+        def app(ctx):
+            tau = TauProfiler(ctx.task, per_call_overhead_ns=100_000)
+            ctx.task.tau = tau
+            for _ in range(10):
+                with tau.timer("routine"):
+                    yield from ctx.compute(1 * MSEC)
+            finish.append(ctx.now)
+
+        kernel.spawn(app, "app")
+        engine.run_until_idle()
+        # ~20 timer ops x 0.1ms of instrumentation overhead folded into
+        # run time (the trailing stop has no later burst to fold into)
+        assert finish[0] >= 11.8 * MSEC
+
+    def test_tracing_records_events(self):
+        engine, kernel = make_kernel()
+        dumps = []
+
+        def app(ctx):
+            tau = TauProfiler(ctx.task, tracing=True)
+            ctx.task.tau = tau
+            with tau.timer("a"):
+                yield from ctx.compute(1000)
+            dumps.append(tau.dump())
+
+        kernel.spawn(app, "app")
+        engine.run_until_idle()
+        trace = dumps[0].trace
+        assert [(name, entry) for _c, name, entry in trace] == \
+            [("a", True), ("a", False)]
+
+
+class TestMerge:
+    def make_kdump(self):
+        kdump = TaskProfileDump(pid=1, comm="app")
+        kdump.perf["schedule_vol"] = (3, 5000, 5000)
+        kdump.perf["tcp_sendmsg"] = (10, 2000, 2000)
+        kdump.groups["schedule_vol"] = "sched"
+        kdump.groups["tcp_sendmsg"] = "net"
+        kdump.context_pairs[("MPI_Recv()", "schedule_vol")] = (3, 5000)
+        kdump.context_pairs[("MPI_Send()", "tcp_sendmsg")] = (10, 2000)
+        return kdump
+
+    def make_udump(self):
+        from repro.tau.profiler import TauProfileDump
+
+        udump = TauProfileDump(pid=1, comm="app", node="n", rank=0, hz=1e9)
+        udump.perf["MPI_Recv()"] = (3, 6000, 6000)
+        udump.perf["MPI_Send()"] = (10, 2500, 2500)
+        udump.perf["compute"] = (1, 9000, 9000)
+        return udump
+
+    def test_true_exclusive_subtraction(self):
+        rows = merged_profile(self.make_udump(), self.make_kdump())
+        by_name = {(r.name, r.layer): r for r in rows}
+        assert by_name[("MPI_Recv()", "user")].excl_cycles == 1000
+        assert by_name[("MPI_Send()", "user")].excl_cycles == 500
+        assert by_name[("compute", "user")].excl_cycles == 9000
+        # kernel rows present as first-class entries
+        assert ("schedule_vol", "kernel") in by_name
+
+    def test_rows_sorted_by_exclusive(self):
+        rows = merged_profile(self.make_udump(), self.make_kdump())
+        excl = [r.excl_cycles for r in rows]
+        assert excl == sorted(excl, reverse=True)
+
+    def test_kernel_time_by_context(self):
+        per_ctx = kernel_time_by_user_context(self.make_kdump())
+        assert per_ctx == {"MPI_Recv()": 5000, "MPI_Send()": 2000}
+
+    def test_callgroups_in_context(self):
+        groups = kernel_callgroups_in_context(self.make_kdump(), "MPI_Recv()")
+        assert groups == {"sched": (3, 5000)}
+
+    def test_events_in_context(self):
+        calls, cycles = kernel_events_in_context(
+            self.make_kdump(), "MPI_Send()", ("tcp_sendmsg",))
+        assert (calls, cycles) == (10, 2000)
+        assert kernel_events_in_context(
+            self.make_kdump(), "nope", ("tcp_sendmsg",)) == (0, 0)
+
+    def test_negative_exclusive_clamped(self):
+        kdump = self.make_kdump()
+        kdump.context_pairs[("MPI_Recv()", "schedule_vol")] = (3, 99999)
+        rows = merged_profile(self.make_udump(), kdump)
+        recv = next(r for r in rows
+                    if r.name == "MPI_Recv()" and r.layer == "user")
+        assert recv.excl_cycles == 0

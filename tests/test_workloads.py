@@ -1,0 +1,152 @@
+"""Tests for the workloads: LU, Sweep3D, LMBENCH, interference."""
+
+import pytest
+
+from repro.cluster.launch import block_placement, launch_mpi_job
+from repro.cluster.machines import make_chiba, make_neutron
+from repro.sim.units import MSEC, SEC, USEC
+from repro.workloads.interference import overhead_process
+from repro.workloads.lmbench import bw_tcp, lat_ctx, lat_syscall
+from repro.workloads.lu import LuParams, lu_app, proc_grid
+from repro.workloads.sweep3d import Sweep3dParams, sweep3d_app
+
+
+class TestProcGrid:
+    @pytest.mark.parametrize("n,expected", [
+        (1, (1, 1)), (2, (1, 2)), (4, (2, 2)), (8, (2, 4)),
+        (16, (4, 4)), (128, (8, 16)),
+    ])
+    def test_decompositions(self, n, expected):
+        assert proc_grid(n) == expected
+
+    @pytest.mark.parametrize("bad", [0, 3, 6, 100])
+    def test_non_power_of_two_rejected(self, bad):
+        with pytest.raises(ValueError):
+            proc_grid(bad)
+
+
+def run_workload(app, nranks, procs_per_node=1, seed=1):
+    cluster = make_chiba(nnodes=nranks // procs_per_node, seed=seed)
+    job = launch_mpi_job(cluster, nranks, app,
+                         placement=block_placement(procs_per_node, nranks),
+                         start_daemons=False)
+    job.run(limit_s=600)
+    cluster.teardown()
+    return job
+
+
+class TestLu:
+    PARAMS = LuParams(niters=3, iter_compute_ns=10 * MSEC, halo_bytes=8192,
+                      sweep_msg_bytes=2048, inorm=2)
+
+    def test_completes_on_various_grids(self):
+        for nranks in (1, 4, 16):
+            job = run_workload(lu_app(self.PARAMS), nranks)
+            assert all(t.exit_code == 0 for t in job.tasks)
+
+    def test_routines_profiled(self):
+        job = run_workload(lu_app(self.PARAMS), 4)
+        dump = job.profilers[0].dump()
+        for routine in ("rhs", "jacld", "blts", "jacu", "buts",
+                        "exchange_3", "l2norm", "ssor"):
+            assert routine in dump.perf, routine
+        assert dump.perf["rhs"][0] == 6  # two rhs chunks per iteration
+
+    def test_interior_rank_communicates_four_ways(self):
+        params = LuParams(niters=2, iter_compute_ns=5 * MSEC, halo_bytes=4096,
+                          sweep_msg_bytes=1024, inorm=0)
+        job = run_workload(lu_app(params), 16)
+        # rank 5 is interior on a 4x4 grid: 4 neighbours x halo x iters
+        interior = job.profilers[5].dump()
+        assert interior.perf["MPI_Send()"][0] >= 2 * (4 + 0)
+        corner = job.profilers[0].dump()
+        assert corner.perf["MPI_Send()"][0] < interior.perf["MPI_Send()"][0]
+
+    def test_scaled_params(self):
+        params = LuParams().scaled(0.5)
+        assert params.iter_compute_ns == LuParams().iter_compute_ns // 2
+        assert params.niters == LuParams().niters  # iterations unscaled
+
+    def test_wavefront_order_dependency(self):
+        """The lower sweep really propagates: the origin computes blts
+        without waiting, the far corner waits for its upstream inputs."""
+        params = LuParams(niters=1, iter_compute_ns=10 * MSEC,
+                          halo_bytes=2048, sweep_msg_bytes=1024, inorm=0,
+                          rhs_exchange=False)
+        job = run_workload(lu_app(params), 4)
+        hz = job.profilers[0].dump().hz
+        blts_origin = job.profilers[0].dump().perf["blts"][1] / hz
+        blts_corner = job.profilers[3].dump().perf["blts"][1] / hz
+        # the corner's blts contains upstream recv waits; the origin's not
+        assert blts_corner > blts_origin * 1.2
+
+
+class TestSweep3d:
+    PARAMS = Sweep3dParams(niters=1, octant_compute_ns=4 * MSEC,
+                           face_bytes=2048)
+
+    def test_completes(self):
+        job = run_workload(sweep3d_app(self.PARAMS), 4)
+        assert all(t.exit_code == 0 for t in job.tasks)
+
+    def test_sweep_timer_present(self):
+        job = run_workload(sweep3d_app(self.PARAMS), 4)
+        dump = job.profilers[0].dump()
+        assert dump.perf["sweep()"][0] == 8  # 8 octants x 1 iteration
+        assert "flux_err" in dump.perf
+
+    def test_all_octants_communicate(self):
+        job = run_workload(sweep3d_app(self.PARAMS), 4)
+        # every rank is corner of a 2x2 grid: 1 upstream + 1 downstream
+        # neighbour per dimension over the octant set
+        dump = job.profilers[0].dump()
+        assert dump.perf["MPI_Recv()"][0] > 0
+        assert dump.perf["MPI_Send()"][0] > 0
+
+
+class TestLmbench:
+    def test_lat_syscall(self):
+        cluster = make_neutron()
+        result = lat_syscall(cluster.nodes[0].kernel, iterations=500)
+        cluster.engine.run(until=5 * SEC)
+        assert result.iterations == 500
+        # trap + handler is single-digit microseconds
+        assert 0.5 <= result.per_op_us <= 20
+
+    def test_lat_ctx(self):
+        cluster = make_neutron()
+        result = lat_ctx(cluster.nodes[0].kernel, rounds=100)
+        cluster.engine.run(until=10 * SEC)
+        assert result.iterations == 200
+        assert 1 <= result.per_op_us <= 100
+
+    def test_bw_tcp_near_wire_speed(self):
+        cluster = make_chiba(nnodes=2)
+        k1, k2 = cluster.nodes[0].kernel, cluster.nodes[1].kernel
+        result = bw_tcp(k1, k2, cluster.network, nbytes=2 * 1024 * 1024)
+        cluster.engine.run(until=60 * SEC)
+        assert result.nbytes == 2 * 1024 * 1024
+        # 100 Mbit/s link ~= 11.9 MiB/s; expect most of it
+        assert 7.0 <= result.mb_per_s <= 12.0
+
+
+class TestInterference:
+    def test_finite_repeats_exit(self):
+        cluster = make_neutron()
+        kernel = cluster.nodes[0].kernel
+        task = kernel.spawn(
+            overhead_process(sleep_ns=10 * MSEC, busy_ns=5 * MSEC, repeats=3),
+            "overhead")
+        cluster.engine.run(until=5 * SEC)
+        assert not task.alive
+        assert task.utime_ns >= 15 * MSEC
+
+    def test_infinite_runs_until_killed(self):
+        cluster = make_neutron()
+        kernel = cluster.nodes[0].kernel
+        task = kernel.spawn(
+            overhead_process(sleep_ns=10 * MSEC, busy_ns=5 * MSEC), "overhead")
+        cluster.engine.run(until=1 * SEC)
+        assert task.alive
+        kernel.sched.kill_blocked(task)
+        assert not task.alive
