@@ -1,0 +1,15 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint lint-json check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m repro.lint src/repro
+
+lint-json:
+	$(PYTHON) -m repro.lint src/repro --format=json
+
+check: lint test

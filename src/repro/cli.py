@@ -147,6 +147,17 @@ def _cmd_compare_sampling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """ktaulint: the instrumentation/determinism static-analysis pass."""
+    from repro.lint.cli import main as lint_main
+
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    return lint_main(argv)
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.analysis.stats import (kernel_event_stats, most_imbalanced,
                                       render_stats, user_event_stats)
@@ -205,6 +216,13 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_ = sub.add_parser("compare-sampling",
                           help="direct measurement vs OProfile-like sampling")
     cmp_.set_defaults(func=_cmd_compare_sampling)
+
+    lint = sub.add_parser("lint", help="run ktaulint static analysis")
+    lint.add_argument("paths", nargs="*", default=["src/repro"])
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule IDs to report")
+    lint.set_defaults(func=_cmd_lint)
 
     stats = sub.add_parser("stats",
                            help="ParaProf-style cross-rank statistics")

@@ -22,10 +22,12 @@ The architecture mirrors Figure 1 of the paper:
 """
 
 from repro.core.config import KtauBuildConfig, KtauRuntimeControl
-from repro.core.measurement import Ktau, KtauTaskData, PerfData, AtomicData
+from repro.core.measurement import (Ktau, KtauTaskData, PerfData, AtomicData,
+                                    InstrumentationImbalanceError)
 from repro.core.points import Group, POINT_GROUPS
 from repro.core.registry import EventRegistry, InstrumentationPoint
 from repro.core.overhead import OverheadModel
+from repro.core.tracebuf import TraceOverflowError
 from repro.core.libktau import LibKtau, Scope
 
 __all__ = [
@@ -33,6 +35,8 @@ __all__ = [
     "KtauTaskData",
     "PerfData",
     "AtomicData",
+    "InstrumentationImbalanceError",
+    "TraceOverflowError",
     "KtauBuildConfig",
     "KtauRuntimeControl",
     "Group",

@@ -38,6 +38,19 @@ from repro.core.tracebuf import TraceBuffer, TraceKind, TraceRecord
 from repro.sim.clock import CycleClock
 
 
+class InstrumentationImbalanceError(RuntimeError):
+    """Strict-mode sanitizer: the activation stack was misused.
+
+    In the default (paper-faithful) mode an unmatched exit is counted in
+    ``KtauTaskData.unmatched_exits`` and the sample dropped — correct for
+    a production kernel where mid-region enable/disable legitimately
+    unbalances the stack.  Strict mode is the development-time companion
+    to the ``ktaulint`` static balance rule (KTAU101/KTAU102): it raises
+    at the first imbalance, naming the instrumentation point, so the
+    dynamic check validates what the static pass claims.
+    """
+
+
 class PerfData:
     """Profile counters for one entry/exit event in one task."""
 
@@ -177,15 +190,25 @@ class Ktau:
         Table 4 model only if the caller provides an RNG-backed model, so
         the default here is zero overhead (callers building real kernels
         pass a proper model).
+    strict:
+        Opt-in sanitizer mode.  When true, activation-stack imbalance
+        (an exit with no matching entry, out of LIFO order, or a task
+        dying with spans still open) raises
+        :class:`InstrumentationImbalanceError` naming the point, and
+        per-task trace buffers raise
+        :class:`~repro.core.tracebuf.TraceOverflowError` on record loss.
+        Default off: production behaviour (count and drop) is unchanged.
     """
 
     def __init__(self, clock: CycleClock, build: KtauBuildConfig,
                  control: Optional[KtauRuntimeControl] = None,
-                 overhead: Optional[OverheadModel] = None):
+                 overhead: Optional[OverheadModel] = None,
+                 strict: bool = False):
         self.clock = clock
         self.build = build
         self.control = control if control is not None else KtauRuntimeControl(build)
         self.overhead = overhead if overhead is not None else ZeroOverheadModel()
+        self.strict = strict
         self.registry = EventRegistry()
         self.tasks: dict[int, KtauTaskData] = {}
         self.zombies: dict[int, KtauTaskData] = {}
@@ -200,7 +223,8 @@ class Ktau:
             raise ValueError(f"pid {pid} already registered")
         trace = None
         if self.build.tracing:
-            trace = TraceBuffer(self.build.trace_buffer_entries)
+            trace = TraceBuffer(self.build.trace_buffer_entries,
+                                strict=self.strict)
         data = KtauTaskData(pid, comm, trace)
         self.tasks[pid] = data
         return data
@@ -209,6 +233,15 @@ class Ktau:
         """Move a dying process's data to the zombie store for later reaping."""
         data = self.tasks.pop(pid, None)
         if data is not None:
+            if self.strict and data.stack:
+                open_points = ", ".join(
+                    f"'{self.registry.name_of(frame.event_id)}'"
+                    for frame in data.stack)
+                raise InstrumentationImbalanceError(
+                    f"task {pid} ({data.comm}) exited with "
+                    f"{len(data.stack)} instrumentation span(s) still "
+                    f"open: {open_points} (every entry needs a matching "
+                    f"exit before process exit)")
             self.zombies[pid] = data
 
     def reap(self, pid: int) -> Optional[KtauTaskData]:
@@ -276,11 +309,25 @@ class Ktau:
         if event_id is None:
             # Exit without any prior entry firing (e.g. enabled mid-region).
             data.unmatched_exits += 1
+            if self.strict:
+                raise InstrumentationImbalanceError(
+                    f"exit for '{point.name}' in task {data.pid} "
+                    f"({data.comm}) but that point never fired an entry")
             return
         if not data.stack or data.stack[-1].event_id != event_id:
             # Mid-region enable/disable can unbalance the stack; KTAU guards
             # with depth checks and drops the sample.
             data.unmatched_exits += 1
+            if self.strict:
+                if data.stack:
+                    innermost = self.registry.name_of(data.stack[-1].event_id)
+                    detail = (f"innermost open entry is '{innermost}' "
+                              f"(depth {len(data.stack)})")
+                else:
+                    detail = "the activation stack is empty"
+                raise InstrumentationImbalanceError(
+                    f"unmatched exit for '{point.name}' in task {data.pid} "
+                    f"({data.comm}): {detail}")
             return
         frame = data.stack.pop()
         now = self.clock.read() if at_cycles is None else at_cycles

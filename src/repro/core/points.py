@@ -36,36 +36,43 @@ class Group(str, enum.Enum):
 #: Every instrumentation point in the simulated kernel, mapped to its group.
 #: The kernel refuses to fire a point that is not declared here, which
 #: catches typos in kernel code at test time.
+#:
+#: A few declarations carry ``ktaulint: disable=KTAU303`` (the
+#: unwired-point check): they reproduce entries of the paper's
+#: instrumentation table whose kernel path the simulation does not model
+#: (e.g. ``sys_poll``; pipes are created out-of-band rather than through
+#: ``sys_pipe``).  They are kept so the declared table stays the paper's
+#: table; the suppression records that the dead wiring is intentional.
 POINT_GROUPS: dict[str, Group] = {
     # -- scheduling ----------------------------------------------------
     "schedule": Group.SCHED,  # involuntary (preemption / timeslice expiry)
     "schedule_vol": Group.SCHED,  # voluntary (blocked waiting for an event)
-    "__wake_up": Group.SCHED,
-    "load_balance": Group.SCHED,
+    "__wake_up": Group.SCHED,  # ktaulint: disable=KTAU303
+    "load_balance": Group.SCHED,  # ktaulint: disable=KTAU303
     # -- system calls --------------------------------------------------
     "sys_read": Group.SYSCALL,
     "sys_write": Group.SYSCALL,
     "sys_readv": Group.SYSCALL,
     "sys_writev": Group.SYSCALL,
-    "sys_poll": Group.SYSCALL,
+    "sys_poll": Group.SYSCALL,  # ktaulint: disable=KTAU303
     "sys_nanosleep": Group.SYSCALL,
     "sys_gettimeofday": Group.SYSCALL,
     "sys_getppid": Group.SYSCALL,
     "sys_sched_setaffinity": Group.SYSCALL,
-    "sys_socketcall": Group.SYSCALL,
-    "sys_pipe": Group.SYSCALL,
+    "sys_socketcall": Group.SYSCALL,  # ktaulint: disable=KTAU303
+    "sys_pipe": Group.SYSCALL,  # ktaulint: disable=KTAU303
     "sys_exit": Group.SYSCALL,
     "sys_pwrite64": Group.SYSCALL,
     "sys_fsync": Group.SYSCALL,
     # -- interrupts ----------------------------------------------------
     "do_IRQ": Group.IRQ,
-    "timer_interrupt": Group.IRQ,
+    "timer_interrupt": Group.IRQ,  # ktaulint: disable=KTAU303
     "eth_interrupt": Group.IRQ,
     "smp_apic_timer_interrupt": Group.IRQ,
     # -- bottom halves ---------------------------------------------------
     "do_softirq": Group.BH,
     "net_rx_action": Group.BH,
-    "net_tx_action": Group.BH,
+    "net_tx_action": Group.BH,  # ktaulint: disable=KTAU303
     "run_timer_softirq": Group.BH,
     # -- network subsystem ----------------------------------------------
     "sock_sendmsg": Group.NET,

@@ -37,18 +37,30 @@ class TraceRecord:
     value: int = 0
 
 
+class TraceOverflowError(RuntimeError):
+    """Strict-mode sanitizer: a trace record was overwritten unread.
+
+    Record loss is legal KTAU behaviour (the paper calls it out), but a
+    client that *believes* it drains fast enough can opt into strict mode
+    to be told the moment that belief is wrong, instead of silently
+    producing a trace with holes.
+    """
+
+
 class TraceBuffer:
     """Fixed-capacity circular buffer of :class:`TraceRecord`.
 
     ``drain`` returns and removes the buffered records in order;
     ``lost_count`` reports how many records were overwritten before being
-    read (cumulative).
+    read (cumulative).  With ``strict=True`` an overwrite raises
+    :class:`TraceOverflowError` instead of silently losing the record.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, strict: bool = False):
         if capacity <= 0:
             raise ValueError("trace buffer capacity must be positive")
         self.capacity = capacity
+        self.strict = strict
         self._buf: list[TraceRecord | None] = [None] * capacity
         self._head = 0  # next write slot
         self._count = 0  # valid records currently buffered
@@ -57,6 +69,11 @@ class TraceBuffer:
 
     def append(self, record: TraceRecord) -> None:
         if self._count == self.capacity:
+            if self.strict:
+                raise TraceOverflowError(
+                    f"trace buffer overflow: capacity {self.capacity} "
+                    f"reached, oldest record would be lost unread "
+                    f"(total written: {self.total_records})")
             self.lost_count += 1
         else:
             self._count += 1

@@ -253,7 +253,10 @@ class Scheduler:
             return
         kernel = self.kernel
         name = "schedule_vol" if voluntary else "schedule"
-        kernel.ktau.entry(task.ktau, kernel.point(name))
+        # Split-phase span by design: the scheduling-wait span opens when
+        # the task is descheduled and closes in _ktau_sched_in when it is
+        # scheduled back — no per-function analysis can pair these.
+        kernel.ktau.entry(task.ktau, kernel.point(name))  # ktaulint: disable=KTAU101
         task.last_deschedule_reason = "vol" if voluntary else "invol"
 
     def _ktau_sched_in(self, task: Task) -> None:
@@ -261,7 +264,8 @@ class Scheduler:
             return
         kernel = self.kernel
         name = "schedule_vol" if task.last_deschedule_reason == "vol" else "schedule"
-        kernel.ktau.exit(task.ktau, kernel.point(name))
+        # Closes the split-phase span opened in _ktau_sched_out above.
+        kernel.ktau.exit(task.ktau, kernel.point(name))  # ktaulint: disable=KTAU102
         task.last_deschedule_reason = None
 
     def _deschedule(self, cpu: Cpu, voluntary: bool, requeue: bool,
@@ -585,7 +589,13 @@ class Scheduler:
             if task.ktau is not None:
                 t0 = kernel.clock.read()
                 t1 = t0 + kernel.clock.cycles_for_ns(2_000)
+                # signal_deliver (the handler-setup leg) nests inside the
+                # do_signal dispatch span, as in the kernel's signal path.
+                td0 = t0 + kernel.clock.cycles_for_ns(500)
+                td1 = t1 - kernel.clock.cycles_for_ns(500)
                 kernel.ktau.entry(task.ktau, kernel.point("do_signal"), at_cycles=t0)
+                kernel.ktau.entry(task.ktau, kernel.point("signal_deliver"), at_cycles=td0)
+                kernel.ktau.exit(task.ktau, kernel.point("signal_deliver"), at_cycles=td1)
                 kernel.ktau.exit(task.ktau, kernel.point("do_signal"), at_cycles=t1)
             if sig == 9:  # SIGKILL
                 self._do_exit(cpu, task, -9)

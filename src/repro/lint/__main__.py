@@ -1,0 +1,18 @@
+"""``python -m repro.lint`` entry point."""
+
+import os
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| head``) closed the pipe early;
+        # swap stdout for devnull so the interpreter's shutdown flush
+        # does not print a second traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 1
+    raise SystemExit(code)

@@ -1,0 +1,172 @@
+"""API hygiene: ``__all__`` drift and cross-layer imports.
+
+KTAU301-style registry drift has an API-surface analog: a package whose
+``__all__`` advertises names it no longer defines (star-imports raise
+``AttributeError``; documentation lies), and a lower layer that reaches
+*up* the architecture (``repro.kernel`` importing ``repro.analysis``
+would let a presentation refactor break the measured substrate).
+
+KTAU401
+    ``__all__`` drift: an entry that the module does not define or
+    import, or a duplicated entry.
+KTAU402
+    Cross-layer import violation: a module imports from a ``repro``
+    package that its layer is not allowed to depend on.  The allowed
+    dependency map mirrors the architecture (sim at the bottom; core
+    above sim; the kernel above core; measurement clients, workloads
+    and the cluster above the kernel; analysis and experiments on top).
+    ``if TYPE_CHECKING:`` imports are exempt — they never execute.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.engine import Rule, SourceFile, register
+from repro.lint.findings import Finding
+
+#: package -> repro sub-packages it may import from at run time.
+#: Top-level modules (repro.cli, repro.__main__, repro/__init__) are the
+#: application shell and may import anything.
+LAYER_DEPS: dict[str, set[str]] = {
+    "sim": set(),
+    "core": {"sim"},
+    "kernel": {"core", "sim"},
+    "tau": {"core", "kernel", "sim"},
+    "workloads": {"kernel", "sim", "tau"},
+    "cluster": {"core", "kernel", "sim", "tau"},
+    "oprofile": {"analysis", "cluster", "core", "kernel", "sim", "tau",
+                 "workloads"},
+    "analysis": {"cluster", "core", "kernel", "sim", "tau", "workloads"},
+    "experiments": {"analysis", "cluster", "core", "kernel", "oprofile",
+                    "sim", "tau", "workloads"},
+    "lint": set(),  # the linter must not depend on what it lints
+}
+
+
+def _defined_names(tree: ast.Module) -> set[str]:
+    """Module-level names a ``from module import *`` could resolve."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # conditionally-defined names (TYPE_CHECKING, fallbacks)
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef)):
+                    names.add(sub.name)
+                elif isinstance(sub, ast.ImportFrom):
+                    for alias in sub.names:
+                        names.add(alias.asname or alias.name)
+                elif isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+    return names
+
+
+@register
+class AllDriftRule(Rule):
+    rule_id = "KTAU401"
+    name = "all-drift"
+    description = ("__all__ names something the module does not define, "
+                   "or lists a name twice")
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        for node in source.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(isinstance(t, ast.Name) and t.id == "__all__"
+                       for t in node.targets):
+                continue
+            if not isinstance(node.value, (ast.List, ast.Tuple)):
+                continue
+            defined = _defined_names(source.tree)
+            seen: set[str] = set()
+            for elt in node.value.elts:
+                if not (isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, str)):
+                    continue
+                name = elt.value
+                if name in seen:
+                    yield self.finding(
+                        source, elt.lineno,
+                        f"'{name}' listed twice in __all__")
+                seen.add(name)
+                if name not in defined and name != "__version__":
+                    yield self.finding(
+                        source, elt.lineno,
+                        f"__all__ exports '{name}' but the module does not "
+                        f"define it")
+
+
+def _in_type_checking(tree: ast.Module) -> set[int]:
+    """``id()`` of import nodes inside ``if TYPE_CHECKING:`` blocks."""
+    guarded: set[int] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        is_tc = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") \
+            or (isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING")
+        if is_tc:
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    guarded.add(id(sub))
+    return guarded
+
+
+@register
+class LayerViolationRule(Rule):
+    rule_id = "KTAU402"
+    name = "layer-violation"
+    description = ("a module imports from a repro package above its "
+                   "architectural layer")
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        parts = source.module.split(".")
+        if len(parts) < 2 or parts[0] != "repro":
+            return  # top-level shell modules and non-repro files
+        layer = parts[1]
+        allowed = LAYER_DEPS.get(layer)
+        if allowed is None:
+            return  # unknown package: no layering contract declared
+        guarded = _in_type_checking(source.tree)
+        for node in ast.walk(source.tree):
+            if id(node) in guarded:
+                continue
+            targets: list[tuple[str, int]] = []
+            if isinstance(node, ast.Import):
+                targets = [(alias.name, node.lineno) for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                    and node.module:
+                targets = [(node.module, node.lineno)]
+            for target, line in targets:
+                tparts = target.split(".")
+                if tparts[0] != "repro" or len(tparts) < 2:
+                    continue
+                tlayer = tparts[1]
+                if tlayer == layer or tlayer in allowed:
+                    continue
+                yield self.finding(
+                    source, line,
+                    f"layer violation: repro.{layer} must not import "
+                    f"'{target}' (allowed: "
+                    f"{', '.join(sorted(allowed)) or 'stdlib only'})")

@@ -1,0 +1,204 @@
+"""Determinism: keep the measurement substrate bit-reproducible.
+
+Cross-node performance comparison (and the perturbation tables) only
+mean anything when two runs with the same seed produce identical event
+streams — the tracing-correctness concern of Dagenais et al.  All time
+must come from the simulated clock (:mod:`repro.sim.clock`) and all
+randomness from seeded named streams (:mod:`repro.sim.rng`).  These
+rules forbid the ways nondeterminism usually leaks into a refactor of
+``repro.sim`` / ``repro.kernel`` / ``repro.core``:
+
+KTAU201
+    Wall-clock reads: ``time.time``/``monotonic``/``perf_counter`` (and
+    ``_ns`` variants), ``datetime.now``/``utcnow``/``today``.
+KTAU202
+    Unseeded randomness: the global ``random`` module, legacy global
+    ``numpy.random.*`` functions, ``default_rng()`` / ``SeedSequence()``
+    called without entropy.
+KTAU203
+    Entropy sources: ``os.urandom``, ``uuid.uuid4``, the ``secrets``
+    module.
+KTAU204
+    Iterating directly over a set/frozenset display or constructor call:
+    set iteration order depends on hash seeding, so anything derived
+    from it (output order, tie-breaking) varies across processes.  Wrap
+    the set in ``sorted(...)`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.lint.engine import Rule, SourceFile, register
+from repro.lint.findings import Finding
+
+SCOPE = ("repro.sim", "repro.kernel", "repro.core")
+
+#: (penultimate, last) dotted-name components of banned wall-clock calls.
+_WALL_CLOCK = {
+    ("time", "time"), ("time", "time_ns"),
+    ("time", "monotonic"), ("time", "monotonic_ns"),
+    ("time", "perf_counter"), ("time", "perf_counter_ns"),
+    ("time", "clock_gettime"), ("time", "clock_gettime_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"),
+    ("datetime", "today"), ("date", "today"),
+}
+
+#: Global random-module functions that draw from the unseeded global state.
+_RANDOM_FUNCS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "expovariate",
+    "betavariate", "gammavariate", "lognormvariate", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "triangular", "getrandbits",
+    "randbytes",
+}
+
+_ENTROPY = {("os", "urandom"), ("uuid", "uuid4"), ("uuid", "uuid1")}
+
+
+def _dotted(node: ast.expr) -> Optional[list[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``, or ``None`` for other shapes."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def _has_entropy_arg(call: ast.Call) -> bool:
+    if call.args:
+        return True
+    return any(kw.arg in ("seed", "entropy") for kw in call.keywords)
+
+
+class _DeterminismBase(Rule):
+    scope = SCOPE
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(source.tree):
+            finding = self._check_node(source, node)
+            if finding is not None:
+                yield finding
+
+    def _check_node(self, source: SourceFile,
+                    node: ast.AST) -> Optional[Finding]:
+        raise NotImplementedError
+
+
+@register
+class WallClockRule(_DeterminismBase):
+    rule_id = "KTAU201"
+    name = "wall-clock"
+    description = ("wall-clock reads make measurement non-reproducible; "
+                   "use the simulated CycleClock / engine time")
+
+    def _check_node(self, source: SourceFile,
+                    node: ast.AST) -> Optional[Finding]:
+        if not isinstance(node, ast.Call):
+            return None
+        dotted = _dotted(node.func)
+        if dotted and len(dotted) >= 2 and tuple(dotted[-2:]) in _WALL_CLOCK:
+            return self.finding(
+                source, node.lineno,
+                f"wall-clock read '{'.'.join(dotted)}()' in deterministic "
+                f"code; use the simulated clock")
+        return None
+
+
+@register
+class UnseededRandomRule(_DeterminismBase):
+    rule_id = "KTAU202"
+    name = "unseeded-random"
+    description = ("unseeded randomness breaks run-to-run reproducibility; "
+                   "draw from a seeded RngHub stream")
+
+    def _check_node(self, source: SourceFile,
+                    node: ast.AST) -> Optional[Finding]:
+        if not isinstance(node, ast.Call):
+            return None
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return None
+        name = ".".join(dotted)
+        # global `random` module state (random.random(), random.seed()...)
+        if (len(dotted) == 2 and dotted[0] == "random"
+                and dotted[1] in _RANDOM_FUNCS):
+            return self.finding(
+                source, node.lineno,
+                f"'{name}()' draws from the unseeded global RNG; use a "
+                f"seeded RngHub stream")
+        # legacy numpy global state: np.random.rand / numpy.random.shuffle
+        if (len(dotted) == 3 and dotted[0] in ("np", "numpy")
+                and dotted[1] == "random"
+                and dotted[2] not in ("Generator", "PCG64", "SeedSequence",
+                                      "default_rng")):
+            return self.finding(
+                source, node.lineno,
+                f"'{name}()' uses numpy's global RNG state; use a seeded "
+                f"Generator")
+        # default_rng() / SeedSequence() with no entropy seeds from the OS
+        if dotted[-1] in ("default_rng", "SeedSequence") \
+                and not _has_entropy_arg(node):
+            return self.finding(
+                source, node.lineno,
+                f"'{name}()' without a seed draws OS entropy; pass explicit "
+                f"entropy")
+        return None
+
+
+@register
+class EntropySourceRule(_DeterminismBase):
+    rule_id = "KTAU203"
+    name = "entropy-source"
+    description = "direct OS entropy (os.urandom, uuid4, secrets) is banned"
+
+    def _check_node(self, source: SourceFile,
+                    node: ast.AST) -> Optional[Finding]:
+        if not isinstance(node, ast.Call):
+            return None
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return None
+        if tuple(dotted[-2:]) in _ENTROPY or dotted[0] == "secrets":
+            return self.finding(
+                source, node.lineno,
+                f"'{'.'.join(dotted)}()' reads OS entropy; deterministic "
+                f"code must not")
+        return None
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")):
+        return True
+    return False
+
+
+@register
+class SetIterationRule(_DeterminismBase):
+    rule_id = "KTAU204"
+    name = "set-iteration-order"
+    description = ("iteration order over a set depends on hash seeding; "
+                   "sort before iterating")
+
+    def _check_node(self, source: SourceFile,
+                    node: ast.AST) -> Optional[Finding]:
+        iters: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            if _is_set_expr(it):
+                return self.finding(
+                    source, it.lineno,
+                    "iterating directly over a set: order depends on hash "
+                    "seeding; wrap in sorted(...)")
+        return None

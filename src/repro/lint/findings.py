@@ -1,0 +1,52 @@
+"""Structured lint findings.
+
+A :class:`Finding` is the unit of ktaulint output: one rule violation at
+one source location, with a stable rule ID (``KTAUnnn``), a severity, and
+a human-readable message.  Findings render identically in the text and
+JSON output formats so tests can assert on exact locations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; the CLI exit code ignores ``INFO``."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        """The text-format line: ``path:line: ID severity message``."""
+        return (f"{self.path}:{self.line}: {self.rule_id} "
+                f"{self.severity} {self.message}")
+
+    def to_dict(self) -> dict:
+        """The JSON-format object."""
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.rule_id, self.message)

@@ -1,0 +1,192 @@
+"""Registry consistency: declared points vs. fired points.
+
+The simulated kernel refuses to fire an instrumentation point that is not
+declared in ``repro.core.points.POINT_GROUPS`` — but that check happens
+at run time, on the path that fires the point.  This project-wide rule
+moves it to lint time by statically cross-referencing the declaration
+table with every firing site in the tree:
+
+KTAU301
+    Duplicate point declaration: the same name appears twice in the
+    ``POINT_GROUPS`` dict literal.  Python silently keeps the last
+    binding, so the first declaration's group is dead — the static
+    analog of an event-ID collision.
+KTAU302
+    Unknown point: a literal name fired through ``.point(...)``,
+    ``.atomic_point(...)``, ``group_of(...)`` or named in a
+    ``KSpan(...)`` tree that is not declared.  This would raise
+    ``KeyError`` the first time the path executes.
+KTAU303
+    Unwired point: declared in ``POINT_GROUPS`` but never referenced
+    anywhere else in the tree — dead instrumentation that will never
+    produce data (warning: points kept for paper fidelity carry explicit
+    suppressions at the declaration).
+KTAU304
+    Unknown group: a ``POINT_GROUPS`` value that is not a member of the
+    ``Group`` enum declared in the same module.
+
+When no ``POINT_GROUPS`` declaration exists under the linted paths the
+rule is silent (there is no table to check against).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Sequence
+
+from repro.lint.engine import ProjectRule, SourceFile, register
+from repro.lint.findings import Finding, Severity
+
+#: Call shapes whose first literal string argument names a point.
+_POINT_CALL_ATTRS = ("point", "atomic_point")
+_POINT_CALL_NAMES = ("group_of", "KSpan")
+
+
+def _find_point_table(source: SourceFile) -> Optional[ast.Dict]:
+    """The ``POINT_GROUPS = {...}`` dict literal in a module, if any."""
+    for node in source.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if (isinstance(target, ast.Name)
+                    and target.id == "POINT_GROUPS"
+                    and isinstance(value, ast.Dict)):
+                return value
+    return None
+
+
+def _group_members(source: SourceFile) -> Optional[set[str]]:
+    """Member names of the ``Group`` enum class in a module, if any."""
+    for node in source.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "Group":
+            members: set[str] = set()
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            members.add(target.id)
+            return members
+    return None
+
+
+def _literal_point_refs(source: SourceFile,
+                        exclude: Optional[ast.Dict]) -> list[tuple[str, int, bool]]:
+    """``(name, line, is_firing)`` references in a file.
+
+    ``is_firing`` is True for literals passed to a point-firing call
+    (those must be declared); False for any other string literal (those
+    merely count as wiring — analysis code naming events, tuple tables).
+    Literals inside the declaration dict itself are excluded.
+    """
+    firing_lits: set[int] = set()  # id() of Constant nodes seen in calls
+    refs: list[tuple[str, int, bool]] = []
+    excluded: set[int] = set()
+    if exclude is not None:
+        for sub in ast.walk(exclude):
+            excluded.add(id(sub))
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        named = (isinstance(func, ast.Attribute)
+                 and func.attr in _POINT_CALL_ATTRS) or \
+                (isinstance(func, ast.Name) and func.id in _POINT_CALL_NAMES)
+        if not named or not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            firing_lits.add(id(first))
+            refs.append((first.value, first.lineno, True))
+    for node in ast.walk(source.tree):
+        if (isinstance(node, ast.Constant) and isinstance(node.value, str)
+                and id(node) not in firing_lits
+                and id(node) not in excluded):
+            refs.append((node.value, node.lineno, False))
+    return refs
+
+
+@register
+class RegistryConsistencyRule(ProjectRule):
+    rule_id = "KTAU301"
+    name = "registry-consistency"
+    severity = Severity.ERROR
+    description = ("registry family: duplicate declarations (KTAU301), "
+                   "undeclared points fired (KTAU302), declared points "
+                   "never wired (KTAU303), unknown groups (KTAU304)")
+    emits = ("KTAU301", "KTAU302", "KTAU303", "KTAU304")
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterable[Finding]:
+        # Locate the declaration table (prefer repro.core.points).
+        table_source: Optional[SourceFile] = None
+        table: Optional[ast.Dict] = None
+        for source in sources:
+            found = _find_point_table(source)
+            if found is not None and (table_source is None
+                                      or source.module == "repro.core.points"):
+                table_source, table = source, found
+        if table_source is None or table is None:
+            return
+
+        declared: dict[str, int] = {}
+        for key_node, value_node in zip(table.keys, table.values):
+            if not (isinstance(key_node, ast.Constant)
+                    and isinstance(key_node.value, str)):
+                continue
+            name = key_node.value
+            if name in declared:
+                yield Finding(
+                    "KTAU301", Severity.ERROR, str(table_source.path),
+                    key_node.lineno,
+                    f"duplicate declaration of point '{name}' (first at "
+                    f"line {declared[name]}): event-ID collision, the "
+                    f"first group binding is dead")
+            else:
+                declared[name] = key_node.lineno
+
+        # Unknown groups (KTAU304) — values must be Group.<member>.
+        members = _group_members(table_source)
+        for value_node in table.values:
+            if (isinstance(value_node, ast.Attribute)
+                    and isinstance(value_node.value, ast.Name)
+                    and value_node.value.id == "Group"):
+                if members is not None and value_node.attr not in members:
+                    yield Finding(
+                        "KTAU304", Severity.ERROR, str(table_source.path),
+                        value_node.lineno,
+                        f"unknown group 'Group.{value_node.attr}' (not a "
+                        f"member of the Group enum)")
+            else:
+                yield Finding(
+                    "KTAU304", Severity.ERROR, str(table_source.path),
+                    value_node.lineno,
+                    f"point group must be a Group enum member, got "
+                    f"'{ast.unparse(value_node)}'")
+
+        # Cross-reference every other file (and the rest of the table's
+        # own module) against the declarations.
+        wired: set[str] = set()
+        for source in sources:
+            exclude = table if source is table_source else None
+            for name, line, is_firing in _literal_point_refs(source, exclude):
+                if name in declared:
+                    wired.add(name)
+                elif is_firing:
+                    yield Finding(
+                        "KTAU302", Severity.ERROR, str(source.path), line,
+                        f"undeclared instrumentation point '{name}': firing "
+                        f"it raises KeyError at run time")
+
+        for name, line in declared.items():
+            if name not in wired:
+                yield Finding(
+                    "KTAU303", Severity.WARNING, str(table_source.path),
+                    line,
+                    f"point '{name}' is declared but never wired into any "
+                    f"kernel path (dead instrumentation)")

@@ -1,0 +1,18 @@
+"""ktaulint fixture: __all__ drift at a known line.
+
+Line numbers are asserted exactly by tests/test_lint.py — do not reflow.
+"""
+
+
+def real_function():
+    return 1
+
+
+REAL_CONSTANT = 2
+
+__all__ = [
+    "real_function",
+    "REAL_CONSTANT",
+    "ghost_export",  # line 16: KTAU401 (not defined anywhere)
+    "real_function",  # line 17: KTAU401 (duplicate entry)
+]

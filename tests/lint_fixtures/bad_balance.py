@@ -1,0 +1,22 @@
+"""ktaulint fixture: every balance rule violated at a known line.
+
+Line numbers are asserted exactly by tests/test_lint.py — do not reflow.
+"""
+
+
+def leaks_on_early_return(kernel, data, ready):
+    kernel.ktau.entry(data, kernel.point("sys_read"))  # line 8: KTAU101
+    if ready:
+        return 1
+    kernel.ktau.exit(data, kernel.point("sys_read"))
+    return 0
+
+
+def exit_without_entry(kernel, data):
+    kernel.ktau.exit(data, kernel.point("sys_write"))  # line 16: KTAU102
+
+
+def compounds_in_loop(kernel, data, items):
+    for item in items:  # line 20: KTAU103
+        kernel.ktau.entry(data, kernel.point("tcp_sendmsg"))
+    return items

@@ -1,0 +1,27 @@
+"""ktaulint fixture: every determinism rule violated at a known line.
+
+Line numbers are asserted exactly by tests/test_lint.py — do not reflow.
+"""
+
+import os
+import random
+import time
+
+
+def stamp():
+    return time.time()  # line 12: KTAU201
+
+
+def jitter():
+    return random.random()  # line 16: KTAU202
+
+
+def token():
+    return os.urandom(8)  # line 20: KTAU203
+
+
+def ordered_names(names):
+    out = []
+    for name in set(names):  # line 25: KTAU204
+        out.append(name)
+    return out

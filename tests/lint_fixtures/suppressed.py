@@ -1,0 +1,27 @@
+"""ktaulint fixture: violations silenced by suppression comments.
+
+Expected findings: exactly one (the unsuppressed wall-clock read at the
+end), proving line suppressions are scoped to their line and rule.
+"""
+
+import time
+
+
+def split_phase_open(kernel, data):
+    kernel.ktau.entry(data, kernel.point("schedule"))  # ktaulint: disable=KTAU101
+
+
+def split_phase_close(kernel, data):
+    kernel.ktau.exit(data, kernel.point("schedule"))  # ktaulint: disable=KTAU102
+
+
+def wall_clock_waiver():
+    return time.time()  # ktaulint: disable=KTAU201
+
+
+def bare_disable_silences_all():
+    return time.time()  # ktaulint: disable
+
+
+def still_flagged():
+    return time.time()  # line 27: KTAU201 (no suppression)
