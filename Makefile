@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-json check
+.PHONY: test lint lint-json check bench bench-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -13,3 +13,9 @@ lint-json:
 	$(PYTHON) -m repro.lint src/repro --format=json
 
 check: lint test
+
+bench:
+	$(PYTHON) benchmarks/bench.py --out BENCH_pr3.json
+
+bench-smoke:
+	$(PYTHON) benchmarks/bench.py --smoke

@@ -6,14 +6,23 @@ The portable modern equivalent is the Chrome trace-event format
 user/kernel timelines to it, one "thread" per process with user and
 kernel events nested by timestamp, so reproduced traces can be inspected
 interactively.
+
+This module also provides the canonical JSON form of harvested profile
+data (:func:`profiles_to_json`): a byte-stable serialisation used to
+assert that two runs produced *identical* measurements — in particular
+that a sweep executed through :mod:`repro.parallel` matches its serial
+execution bit for bit.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Iterable
+from typing import Iterable, Optional
 
+from repro.analysis.profiles import JobData
 from repro.analysis.tracemerge import MergedEvent
+from repro.core.wire import TaskProfileDump
+from repro.tau.profiler import TauProfileDump
 
 
 def to_chrome_trace(events_by_process: dict[str, tuple[list[MergedEvent], float]],
@@ -65,6 +74,77 @@ def to_chrome_trace(events_by_process: dict[str, tuple[list[MergedEvent], float]
             records.append({"name": stack.pop(), "ph": "E", "pid": pid,
                             "tid": tid, "ts": last_ts, "cat": "truncated"})
     return json.dumps({"traceEvents": records, "displayTimeUnit": "ms"})
+
+
+def _kprofile_doc(dump: Optional[TaskProfileDump]) -> Optional[dict]:
+    if dump is None:
+        return None
+    return {
+        "pid": dump.pid,
+        "comm": dump.comm,
+        "perf": {name: list(v) for name, v in dump.perf.items()},
+        "atomic": {name: list(v) for name, v in dump.atomic.items()},
+        "context_pairs": {f"{ctx}\t{name}": list(v)
+                          for (ctx, name), v in dump.context_pairs.items()},
+        "groups": dict(dump.groups),
+        "counters": {name: list(v) for name, v in dump.counters.items()},
+        "edges": {f"{parent}\t{name}": list(v)
+                  for (parent, name), v in dump.edges.items()},
+    }
+
+
+def _uprofile_doc(dump: Optional[TauProfileDump]) -> Optional[dict]:
+    if dump is None:
+        return None
+    return {
+        "pid": dump.pid,
+        "comm": dump.comm,
+        "node": dump.node,
+        "rank": dump.rank,
+        "hz": dump.hz,
+        "perf": {name: list(v) for name, v in dump.perf.items()},
+        "trace": [[cycles, name, is_entry]
+                  for cycles, name, is_entry in dump.trace],
+        "edges": {f"{parent}\t{name}": list(v)
+                  for (parent, name), v in dump.edges.items()},
+    }
+
+
+def profiles_to_json(data: JobData) -> str:
+    """Serialise a harvested run to canonical, byte-stable JSON.
+
+    Two :class:`JobData` objects holding equal measurements serialise to
+    the *same bytes*: keys are sorted, separators are fixed, tuple keys
+    are flattened to tab-joined strings, and nothing ambient (wall-clock
+    time, ids, paths) is included.  The determinism tests rely on this
+    to compare serial and parallel executions of the same sweep.
+    """
+    doc = {
+        "exec_time_s": data.exec_time_s,
+        "ranks": [{
+            "rank": r.rank,
+            "pid": r.pid,
+            "node": r.node,
+            "hz": r.hz,
+            "exec_ns": r.exec_ns,
+            "kprofile": _kprofile_doc(r.kprofile),
+            "uprofile": _uprofile_doc(r.uprofile),
+            "flow_rx_calls": r.flow_rx_calls,
+            "flow_rx_ns": r.flow_rx_ns,
+        } for r in data.ranks],
+        "node_profiles": {
+            node: {str(pid): _kprofile_doc(dump)
+                   for pid, dump in profiles.items()}
+            for node, profiles in data.node_profiles.items()
+        },
+        "node_irq_counts": {node: list(counts)
+                            for node, counts in data.node_irq_counts.items()},
+        "node_comms": {
+            node: {str(pid): comm for pid, comm in comms.items()}
+            for node, comms in data.node_comms.items()
+        },
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 
 
 def validate_chrome_trace(payload: str) -> tuple[int, int]:

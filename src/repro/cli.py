@@ -46,7 +46,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
     elif args.which == 3:
         from repro.experiments import table3
         print("running the perturbation matrix ...")
-        rows = table3.build(seeds=tuple(range(1, args.seeds + 1)))
+        rows = table3.build(seeds=tuple(range(1, args.seeds + 1)),
+                            workers=args.workers)
         print(table3.render(rows))
     elif args.which == 4:
         from repro.experiments import table4
@@ -64,10 +65,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     which = args.which
     if which == 2:
         from repro.experiments import fig2_controlled as f2
-        ab = f2.run_fig2ab(seed=args.seed)
-        print(f2.render_ab(ab))
-        print(f2.render_c(f2.run_fig2c(seed=args.seed)))
-        print(f2.render_e(f2.run_fig2e(seed=args.seed)))
+        result = f2.run_fig2_all(seed=args.seed, workers=args.workers)
+        print(f2.render_ab(result.ab))
+        print(f2.render_c(result.c))
+        print(f2.render_e(result.e))
         return 0
     if which in (3, 4):
         data = chiba.get_run(STANDARD_CHIBA_CONFIGS[1], "lu")
@@ -77,7 +78,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             print(fig4.render(fig4.build(data)))
         return 0
     if which in (5, 6):
-        runs = chiba.get_standard_runs("lu")
+        runs = chiba.get_standard_runs("lu", workers=args.workers)
         kind = "voluntary" if which == 5 else "involuntary"
         print(fig5_6.render(fig5_6.build(runs, kind)))
         return 0
@@ -86,10 +87,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(fig7.render(fig7.build(data)))
         return 0
     if which == 8:
-        runs = chiba.get_standard_runs("lu")
+        runs = chiba.get_standard_runs("lu", workers=args.workers)
         print(fig8.render(fig8.build(runs)))
         return 0
     if which in (9, 10):
+        chiba.prefetch("sweep3d", configs=tuple(fig9_10.FIG9_CONFIGS),
+                       workers=args.workers)
         runs = {c.label: chiba.get_run(c, "sweep3d")
                 for c in fig9_10.FIG9_CONFIGS}
         if which == 9:
@@ -99,6 +102,17 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         return 0
     print(f"no figure {which} in the paper's evaluation", file=sys.stderr)
     return 2
+
+
+def _cmd_noise(args: argparse.Namespace) -> int:
+    """The OS-noise amplification sweep (the paper's motivating problem)."""
+    from repro.experiments import noise
+
+    scales = tuple(int(s) for s in args.scales.split(","))
+    results = noise.amplification_sweep(scales, seed=args.seed,
+                                        workers=args.workers)
+    print(noise.render(results))
+    return 0
 
 
 def _cmd_lmbench(args: argparse.Namespace) -> int:
@@ -191,16 +205,32 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=42)
     run.set_defaults(func=_cmd_run)
 
+    workers_help = ("worker processes for independent simulations "
+                    "(default: $REPRO_WORKERS or serial)")
+
     table = sub.add_parser("table", help="regenerate a paper table (1-4)")
     table.add_argument("which", type=int, choices=(1, 2, 3, 4))
     table.add_argument("--seeds", type=int, default=3,
                        help="seeds for the perturbation table")
+    table.add_argument("--workers", "-j", type=int, default=None,
+                       help=workers_help)
     table.set_defaults(func=_cmd_table)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure (2-10)")
     figure.add_argument("which", type=int, choices=tuple(range(2, 11)))
     figure.add_argument("--seed", type=int, default=1)
+    figure.add_argument("--workers", "-j", type=int, default=None,
+                       help=workers_help)
     figure.set_defaults(func=_cmd_figure)
+
+    noise = sub.add_parser("noise",
+                           help="OS-noise amplification sweep (paper §1)")
+    noise.add_argument("--scales", default="4,16,64",
+                       help="comma-separated node counts")
+    noise.add_argument("--seed", type=int, default=1)
+    noise.add_argument("--workers", "-j", type=int, default=None,
+                       help=workers_help)
+    noise.set_defaults(func=_cmd_noise)
 
     lm = sub.add_parser("lmbench", help="run the LMBENCH-style probes")
     lm.add_argument("--seed", type=int, default=5)

@@ -103,6 +103,9 @@ class KtauRuntimeControl:
         # Cannot enable what is not compiled in.
         self._enabled: set[Group] = set(enabled_groups) & set(build.compiled_groups)
         self._disabled_points: set[str] = set()
+        #: bumped on every state change so hot paths (the measurement
+        #: system's per-point firing-state cache) can revalidate cheaply
+        self.version = 0
 
     # -- queries (the hot path) ------------------------------------------
     def group_enabled(self, group: Group) -> bool:
@@ -128,23 +131,29 @@ class KtauRuntimeControl:
             if g not in self.build.compiled_groups:
                 raise ValueError(f"group {g} not compiled into this kernel")
             self._enabled.add(g)
+        self.version += 1
 
     def disable(self, *groups: Group) -> None:
         for g in groups:
             self._enabled.discard(g)
+        self.version += 1
 
     def disable_all(self) -> None:
         self._enabled.clear()
+        self.version += 1
 
     def enable_all(self) -> None:
         self._enabled = set(self.build.compiled_groups)
+        self.version += 1
 
     def disable_points(self, *names: str) -> None:
         """Silence individual instrumentation points at runtime."""
         self._disabled_points.update(names)
+        self.version += 1
 
     def enable_points(self, *names: str) -> None:
         self._disabled_points.difference_update(names)
+        self.version += 1
 
     # -- boot-time kernel options ------------------------------------------
     @classmethod

@@ -213,6 +213,13 @@ class Ktau:
         self.tasks: dict[int, KtauTaskData] = {}
         self.zombies: dict[int, KtauTaskData] = {}
         self.total_overhead_cycles = 0
+        # Hot-path accelerators: firing state per point is invariant until
+        # the runtime control changes, so cache it against the control's
+        # version counter; a zero overhead model never charges anything,
+        # so its sampler calls can be skipped outright.
+        self._no_overhead = isinstance(self.overhead, ZeroOverheadModel)
+        self._state_cache: dict[InstrumentationPoint, int] = {}
+        self._state_cache_version = -1
 
     # ------------------------------------------------------------------
     # Process life-cycle (engaged on fork/exit)
@@ -259,13 +266,25 @@ class Ktau:
 
     def _firing_state(self, point: InstrumentationPoint, data: KtauTaskData) -> int:
         """0 = no-op, 1 = compiled but disabled (flag check), 2 = enabled."""
-        if data.frozen or not self.control.group_compiled(point.group):
+        if data.frozen:
             return 0
-        if not self.control.group_enabled(point.group):
-            return 1
-        if not self.control.point_enabled(point.name):
-            return 1  # per-point runtime disable: flag-check cost only
-        return 2
+        control = self.control
+        version = control.version
+        if version != self._state_cache_version:
+            self._state_cache.clear()
+            self._state_cache_version = version
+        state = self._state_cache.get(point)
+        if state is None:
+            if not control.group_compiled(point.group):
+                state = 0
+            elif not control.group_enabled(point.group):
+                state = 1
+            elif not control.point_enabled(point.name):
+                state = 1  # per-point runtime disable: flag-check cost only
+            else:
+                state = 2
+            self._state_cache[point] = state
+        return state
 
     def entry(self, data: KtauTaskData, point: InstrumentationPoint,
               at_cycles: Optional[int] = None) -> None:
@@ -290,11 +309,12 @@ class Ktau:
             frame.entry_insn, frame.entry_l2 = data.counter_source()
         data.stack.append(frame)
         data.active_counts[event_id] = data.active_counts.get(event_id, 0) + 1
-        cost = self.overhead.start_cycles()
+        cost = 0 if self._no_overhead else self.overhead.start_cycles()
         if data.trace is not None:
             data.trace.append(TraceRecord(now, event_id, TraceKind.ENTRY))
             cost += self.overhead.trace_extra_cycles
-        self._charge(data, cost)
+        if cost:
+            self._charge(data, cost)
 
     def exit(self, data: KtauTaskData, point: InstrumentationPoint,
              at_cycles: Optional[int] = None) -> None:
@@ -335,7 +355,10 @@ class Ktau:
         excl = incl - frame.child_cycles
         if excl < 0:
             excl = 0
-        perf = data.perf(event_id)
+        perf = data.profile.get(event_id)  # inlined data.perf()
+        if perf is None:
+            perf = PerfData()
+            data.profile[event_id] = perf
         perf.count += 1
         remaining = data.active_counts.get(event_id, 1) - 1
         data.active_counts[event_id] = remaining
@@ -375,11 +398,12 @@ class Ktau:
             else:
                 edge[0] += 1
                 edge[1] += incl
-        cost = self.overhead.stop_cycles()
+        cost = 0 if self._no_overhead else self.overhead.stop_cycles()
         if data.trace is not None:
             data.trace.append(TraceRecord(now, event_id, TraceKind.EXIT))
             cost += self.overhead.trace_extra_cycles
-        self._charge(data, cost)
+        if cost:
+            self._charge(data, cost)
 
     def atomic(self, data: KtauTaskData, point: InstrumentationPoint, value: int,
                at_cycles: Optional[int] = None) -> None:
@@ -400,12 +424,13 @@ class Ktau:
             stats = AtomicData()
             data.atomic[event_id] = stats
         stats.record(value)
-        cost = self.overhead.atomic_cycles()
+        cost = 0 if self._no_overhead else self.overhead.atomic_cycles()
         if data.trace is not None:
             stamp = self.clock.read() if at_cycles is None else at_cycles
             data.trace.append(TraceRecord(stamp, event_id, TraceKind.ATOMIC, value))
             cost += self.overhead.trace_extra_cycles
-        self._charge(data, cost)
+        if cost:
+            self._charge(data, cost)
 
     @contextmanager
     def span(self, data: KtauTaskData, point: InstrumentationPoint) -> Iterator[None]:

@@ -15,6 +15,7 @@ from repro.analysis.profiles import JobData
 from repro.experiments.common import (STANDARD_CHIBA_CONFIGS, ChibaConfig,
                                       bench_lu_params, bench_sweep_params,
                                       run_chiba_app)
+from repro.parallel import parallel_map
 
 _cache: dict[tuple, JobData] = {}
 
@@ -34,16 +35,40 @@ def get_run(config: ChibaConfig, app: str = "lu", scale: float = 1.0) -> JobData
     return data
 
 
+def prefetch(app: str = "lu", scale: float = 1.0,
+             configs: Optional[tuple[ChibaConfig, ...]] = None,
+             workers: int | None = None) -> None:
+    """Populate the memo cache, running missing configs across workers.
+
+    The cache lives in this (parent) process; workers only compute
+    :class:`JobData` payloads and ship them back, so subsequent
+    ``get_run``/``get_standard_runs`` calls are hits regardless of how
+    the cache was filled — and hold bit-identical data either way.
+    """
+    if configs is None:
+        configs = STANDARD_CHIBA_CONFIGS
+    missing = [c for c in configs if _key(c, app, scale) not in _cache]
+    if not missing:
+        return
+
+    def run_config(config: ChibaConfig) -> JobData:
+        params = bench_lu_params(scale) if app == "lu" else bench_sweep_params(scale)
+        return run_chiba_app(config, app, params)
+
+    results = parallel_map(run_config, missing, workers=workers,
+                           keys=[c.label for c in missing])
+    for config, data in zip(missing, results):
+        _cache[_key(config, app, scale)] = data
+
+
 def get_standard_runs(app: str = "lu", scale: float = 1.0,
-                      labels: Optional[tuple[str, ...]] = None
-                      ) -> dict[str, JobData]:
+                      labels: Optional[tuple[str, ...]] = None,
+                      workers: int | None = None) -> dict[str, JobData]:
     """The five-configuration sweep, label → harvested data."""
-    out: dict[str, JobData] = {}
-    for config in STANDARD_CHIBA_CONFIGS:
-        if labels is not None and config.label not in labels:
-            continue
-        out[config.label] = get_run(config, app, scale)
-    return out
+    wanted = tuple(c for c in STANDARD_CHIBA_CONFIGS
+                   if labels is None or c.label in labels)
+    prefetch(app, scale, configs=wanted, workers=workers)
+    return {config.label: get_run(config, app, scale) for config in wanted}
 
 
 def clear_cache() -> None:

@@ -28,6 +28,7 @@ from repro.cluster.machines import make_chiba, make_neutron
 from repro.cluster.daemons import start_busy_daemon
 from repro.core.config import KtauBuildConfig
 from repro.core.libktau import LibKtau
+from repro.parallel import run_replications
 from repro.sim.units import MSEC, SEC
 from repro.tau.merge import MergedRow, merged_profile
 from repro.workloads.interference import overhead_process
@@ -188,6 +189,37 @@ def run_fig2e(seed: int = 1, occurrence: int = 2) -> Fig2EResult:
         full_timeline_len=len(merged),
         kernel_events_in_window=[e.name for e in window if e.layer == "kernel"
                                  and e.is_entry])
+
+
+# ---------------------------------------------------------------------------
+# The whole figure at once
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig2Result:
+    """All five panels of Figure 2 (D is derived from A/B's run)."""
+
+    ab: Fig2ABResult
+    c: Fig2CResult
+    d: Fig2DResult
+    e: Fig2EResult
+
+
+def run_fig2_all(seed: int = 1, workers: int | None = None) -> Fig2Result:
+    """Run every Figure 2 experiment; panels fan out across workers.
+
+    The three underlying simulations (the 8-node chiba run behind panels
+    A/B/D, the neutron run behind C, and the traced run behind E) are
+    independent, so they run as replication cells; panel D is then
+    derived in-process from the A/B data.
+    """
+    results = run_replications({
+        "ab": lambda: run_fig2ab(seed),
+        "c": lambda: run_fig2c(seed),
+        "e": lambda: run_fig2e(seed),
+    }, workers=workers)
+    ab = results["ab"]
+    return Fig2Result(ab=ab, c=results["c"], d=build_fig2d(ab.data),
+                      e=results["e"])
 
 
 # ---------------------------------------------------------------------------

@@ -25,6 +25,7 @@ from repro.analysis.profiles import JobData, harvest_job
 from repro.cluster.daemons import start_busy_daemon
 from repro.cluster.launch import block_placement, launch_mpi_job
 from repro.cluster.machines import make_chiba
+from repro.parallel import parallel_map
 from repro.sim.units import MSEC
 
 
@@ -65,38 +66,67 @@ class NoiseResult:
         return 100.0 * (self.noisy_s - self.clean_s) / self.clean_s
 
 
+def _run_noise_cell(cell: tuple[int, NoiseParams, int, bool]
+                    ) -> tuple[float, JobData]:
+    """One (scale, clean/noisy) simulation — a replication-runner cell.
+
+    Module-level (not a closure) so plain pickle suffices when the cell
+    crosses a process boundary.
+    """
+    nranks, params, seed, noisy = cell
+    cluster = make_chiba(nnodes=nranks, seed=seed)
+    if noisy:
+        for node in cluster.nodes:
+            start_busy_daemon(node, pin_cpu=0,
+                              period_ns=params.noise_period_ns,
+                              busy_ns=params.noise_burst_ns,
+                              comm="noised", random_phase=True)
+    job = launch_mpi_job(cluster, nranks, _noise_app(params),
+                         placement=block_placement(1, nranks),
+                         start_daemons=False)
+    job.run(limit_s=600)
+    data = harvest_job(job)
+    cluster.teardown()
+    return data.exec_time_s, data
+
+
 def run_noise_point(nranks: int, params: NoiseParams | None = None,
-                    seed: int = 1) -> NoiseResult:
+                    seed: int = 1,
+                    workers: int | None = None) -> NoiseResult:
     """One scale point: the synchronised quanta with and without noise."""
     if params is None:
         params = NoiseParams()
-
-    def run(noisy: bool) -> tuple[float, JobData]:
-        cluster = make_chiba(nnodes=nranks, seed=seed)
-        if noisy:
-            for node in cluster.nodes:
-                start_busy_daemon(node, pin_cpu=0,
-                                  period_ns=params.noise_period_ns,
-                                  busy_ns=params.noise_burst_ns,
-                                  comm="noised", random_phase=True)
-        job = launch_mpi_job(cluster, nranks, _noise_app(params),
-                             placement=block_placement(1, nranks),
-                             start_daemons=False)
-        job.run(limit_s=600)
-        data = harvest_job(job)
-        cluster.teardown()
-        return data.exec_time_s, data
-
-    clean_s, _ = run(False)
-    noisy_s, data = run(True)
+    cells = [(nranks, params, seed, False), (nranks, params, seed, True)]
+    (clean_s, _), (noisy_s, data) = parallel_map(
+        _run_noise_cell, cells, workers=workers,
+        keys=["clean", "noisy"])
     return NoiseResult(nranks=nranks, clean_s=clean_s, noisy_s=noisy_s,
                        data_noisy=data)
 
 
 def amplification_sweep(scales=(4, 16, 64), params: NoiseParams | None = None,
-                        seed: int = 1) -> list[NoiseResult]:
-    """The noise-amplification curve: slowdown vs node count."""
-    return [run_noise_point(n, params, seed) for n in scales]
+                        seed: int = 1,
+                        workers: int | None = None) -> list[NoiseResult]:
+    """The noise-amplification curve: slowdown vs node count.
+
+    All ``len(scales) * 2`` clean/noisy simulations are independent, so
+    the whole sweep flattens into one :func:`repro.parallel.parallel_map`
+    fan-out; rows are reassembled per scale point in input order.
+    """
+    if params is None:
+        params = NoiseParams()
+    cells = [(n, params, seed, noisy) for n in scales
+             for noisy in (False, True)]
+    flat = parallel_map(_run_noise_cell, cells, workers=workers,
+                        keys=[(n, "noisy" if noisy else "clean")
+                              for n, _p, _s, noisy in cells])
+    results = []
+    for i, nranks in enumerate(scales):
+        clean_s, _ = flat[2 * i]
+        noisy_s, data = flat[2 * i + 1]
+        results.append(NoiseResult(nranks=nranks, clean_s=clean_s,
+                                   noisy_s=noisy_s, data_noisy=data))
+    return results
 
 
 def render(results: list[NoiseResult]) -> str:

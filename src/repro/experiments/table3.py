@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.core.config import KtauBuildConfig
 from repro.core.points import Group
 from repro.experiments.common import ChibaConfig, run_chiba_app
+from repro.parallel import parallel_map
 from repro.workloads.lu import LuParams
 from repro.workloads.sweep3d import Sweep3dParams
 from repro.sim.units import MSEC
@@ -77,17 +78,30 @@ class Table3Row:
 
 
 def build(nranks: int = 16, seeds: tuple[int, ...] = (1, 2, 3),
-          params: LuParams | None = None) -> list[Table3Row]:
-    """Run the perturbation matrix and assemble Table 3's LU rows."""
+          params: LuParams | None = None,
+          workers: int | None = None) -> list[Table3Row]:
+    """Run the perturbation matrix and assemble Table 3's LU rows.
+
+    The config × seed matrix is embarrassingly parallel (each cell is an
+    independent deterministic simulation), so it fans out through
+    :func:`repro.parallel.parallel_map` when ``workers`` asks for it;
+    results are keyed by cell, never by completion order, so the rows
+    are identical for any worker count.
+    """
     if params is None:
         params = perturbation_lu_params()
     configs = _configs(nranks)
-    times: dict[str, list[float]] = {}
-    for name in CONFIG_ORDER:
-        times[name] = [
-            run_chiba_app(configs[name].with_seed(seed), "lu", params).exec_time_s
-            for seed in seeds
-        ]
+    cells = [(name, seed) for name in CONFIG_ORDER for seed in seeds]
+
+    def run_cell(cell: tuple[str, int]) -> float:
+        name, seed = cell
+        return run_chiba_app(configs[name].with_seed(seed), "lu",
+                             params).exec_time_s
+
+    flat = parallel_map(run_cell, cells, workers=workers, keys=cells)
+    times: dict[str, list[float]] = {name: [] for name in CONFIG_ORDER}
+    for (name, _seed), exec_s in zip(cells, flat):
+        times[name].append(exec_s)
     base_min = min(times["Base"])
     base_avg = sum(times["Base"]) / len(times["Base"])
     rows = []
@@ -105,16 +119,23 @@ def build(nranks: int = 16, seeds: tuple[int, ...] = (1, 2, 3),
 
 
 def build_sweep3d(nranks: int = 16, seeds: tuple[int, ...] = (1, 2),
-                  params: Sweep3dParams | None = None) -> tuple[float, float, float]:
+                  params: Sweep3dParams | None = None,
+                  workers: int | None = None) -> tuple[float, float, float]:
     """Sweep3D Base vs ProfAll+Tau: (base avg, instrumented avg, %slow)."""
     if params is None:
         params = Sweep3dParams(niters=3, octant_compute_ns=60 * MSEC,
                                face_bytes=4_096, pipeline_fill_frac=0.01)
     configs = _configs(nranks)
-    base = [run_chiba_app(configs["Base"].with_seed(s), "sweep3d", params).exec_time_s
-            for s in seeds]
-    inst = [run_chiba_app(configs["ProfAll+Tau"].with_seed(s), "sweep3d",
-                          params).exec_time_s for s in seeds]
+    cells = [(name, seed) for name in ("Base", "ProfAll+Tau") for seed in seeds]
+
+    def run_cell(cell: tuple[str, int]) -> float:
+        name, seed = cell
+        return run_chiba_app(configs[name].with_seed(seed), "sweep3d",
+                             params).exec_time_s
+
+    flat = parallel_map(run_cell, cells, workers=workers, keys=cells)
+    base = flat[:len(seeds)]
+    inst = flat[len(seeds):]
     base_avg = sum(base) / len(base)
     inst_avg = sum(inst) / len(inst)
     return base_avg, inst_avg, max(0.0, 100.0 * (inst_avg - base_avg) / base_avg)

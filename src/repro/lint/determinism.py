@@ -33,7 +33,7 @@ from typing import Iterable, Optional
 from repro.lint.engine import Rule, SourceFile, register
 from repro.lint.findings import Finding
 
-SCOPE = ("repro.sim", "repro.kernel", "repro.core")
+SCOPE = ("repro.sim", "repro.kernel", "repro.core", "repro.parallel")
 
 #: (penultimate, last) dotted-name components of banned wall-clock calls.
 _WALL_CLOCK = {

@@ -1,0 +1,71 @@
+"""Deterministic, order-independent merging of replication results.
+
+Workers finish in whatever order the OS schedules them; everything in
+this module is written so the merged value depends only on the *inputs*
+(which arrive in submission order from :mod:`repro.parallel.runner`),
+never on completion timing.  Key collisions are an error by default —
+two replications writing the same cell of a sweep is a sweep-definition
+bug, not something to paper over silently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+def merge_mappings(parts: Iterable[Mapping[K, V]], *,
+                   on_conflict: Optional[Callable[[K, V, V], V]] = None
+                   ) -> dict[K, V]:
+    """Merge per-worker result mappings into one dict.
+
+    Keys keep first-seen order across ``parts`` (which the runner yields
+    in submission order, so the result is deterministic).  A key present
+    in more than one part raises ``ValueError`` unless ``on_conflict``
+    is given, in which case it resolves ``(key, old, new)`` to the kept
+    value.
+    """
+    merged: dict[K, V] = {}
+    for part in parts:
+        for key, value in part.items():
+            if key in merged:
+                if on_conflict is None:
+                    raise ValueError(f"conflicting results for key {key!r}")
+                merged[key] = on_conflict(key, merged[key], value)
+            else:
+                merged[key] = value
+    return merged
+
+
+def group_results(keys: Sequence[K], results: Sequence[V],
+                  by: Callable[[K], Any]) -> dict[Any, dict[K, V]]:
+    """Regroup flat ``(key, result)`` pairs into nested dicts.
+
+    A sweep is usually flattened to one replication per (config, seed)
+    cell for fan-out, then regrouped for presentation — e.g.
+    ``by=lambda cell: cell[0]`` turns ``{(cfg, seed): r}`` rows into
+    ``{cfg: {(cfg, seed): r}}``.  Group and member order both follow the
+    input sequence, so the structure is reproducible.
+    """
+    if len(keys) != len(results):
+        raise ValueError("keys and results differ in length")
+    grouped: dict[Any, dict[K, V]] = {}
+    for key, result in zip(keys, results):
+        grouped.setdefault(by(key), {})[key] = result
+    return grouped
+
+
+def sum_counters(parts: Iterable[Mapping[K, int]]) -> dict[K, int]:
+    """Sum integer-valued counter mappings (e.g. per-run event tallies).
+
+    Addition is commutative, so this merge is order-independent by
+    construction; key order still follows first appearance for stable
+    iteration.
+    """
+    totals: dict[K, int] = {}
+    for part in parts:
+        for key, value in part.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals

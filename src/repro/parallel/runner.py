@@ -1,0 +1,141 @@
+"""The replication runner: shard independent runs across processes.
+
+Design constraints, in order:
+
+1. **Determinism.** A replication is a self-contained callable — its seed
+   and configuration travel inside the closure, never ambient state — and
+   results are placed by submission index, so completion order (the one
+   genuinely nondeterministic thing about a process pool) can never leak
+   into what a caller observes.  ``parallel_map(fn, items, workers=k)``
+   returns exactly ``[fn(x) for x in items]`` for every ``k``.
+2. **Serial transparency.** ``workers<=1`` (the default resolution unless
+   ``REPRO_WORKERS`` says otherwise) runs in-process with no pool, no
+   serialisation, and no behaviour change — the parallel path is a pure
+   wall-clock optimisation layered on top.
+3. **Closure-friendliness.** Experiment sweeps are naturally written as
+   closures over configs and params; tasks and results cross the process
+   boundary via :mod:`cloudpickle` when it is available (plain pickle
+   otherwise), so callers are not forced to hoist every cell function to
+   module scope.
+
+Workers inherit the parent via ``fork`` where the platform offers it
+(cheap, no re-import) and fall back to the default start method
+elsewhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, TypeVar
+
+try:  # cloudpickle serialises closures/lambdas; pickle handles the rest
+    import cloudpickle as _pickler
+except ImportError:  # pragma: no cover - cloudpickle ships in the image
+    _pickler = pickle
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable that opts the default worker resolution into
+#: parallel execution (e.g. ``REPRO_WORKERS=4 python -m repro table 3``).
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+class ReplicationError(RuntimeError):
+    """A replication failed in a worker; names the failing cell."""
+
+    def __init__(self, key: Any, cause: BaseException):
+        super().__init__(f"replication {key!r} failed: "
+                         f"{type(cause).__name__}: {cause}")
+        self.key = key
+
+
+def default_workers() -> int:
+    """Worker count used when a caller passes ``workers=None``.
+
+    Reads ``REPRO_WORKERS`` when set; otherwise 1 (serial).  Parallel
+    fan-out is opt-in — it changes wall-clock behaviour only, but
+    spawning processes from library code without being asked would be a
+    rude default.
+    """
+    value = os.environ.get(WORKERS_ENV)
+    if value:
+        try:
+            return max(1, int(value))
+        except ValueError:
+            return 1
+    return 1
+
+
+def resolve_workers(workers: Optional[int], ntasks: int) -> int:
+    """Effective pool size for ``ntasks`` replications."""
+    if workers is None:
+        workers = default_workers()
+    return max(1, min(workers, ntasks)) if ntasks else 1
+
+
+def _start_method() -> str:
+    """``fork`` where available (cheap, inherits loaded modules)."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+def _run_payload(payload: bytes) -> bytes:
+    """Worker entry point: decode one (fn, item) cell, run it, encode
+    the result.  Must stay module-level so the pool can import it."""
+    fn, item = _pickler.loads(payload)
+    return _pickler.dumps(fn(item))
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
+                 workers: Optional[int] = None,
+                 keys: Optional[Sequence[Any]] = None) -> list[R]:
+    """``[fn(x) for x in items]``, optionally sharded across processes.
+
+    Results are returned in item order regardless of completion order.
+    ``keys`` (same length as ``items``) only labels failures: a worker
+    exception is re-raised as :class:`ReplicationError` naming the cell.
+    """
+    items = list(items)
+    n = len(items)
+    nworkers = resolve_workers(workers, n)
+    if nworkers <= 1 or n <= 1:
+        return [fn(item) for item in items]
+    payloads = [_pickler.dumps((fn, item)) for item in items]
+    results: list[Any] = [None] * n
+    context = multiprocessing.get_context(_start_method())
+    with ProcessPoolExecutor(max_workers=nworkers,
+                             mp_context=context) as pool:
+        futures = {pool.submit(_run_payload, payload): index
+                   for index, payload in enumerate(payloads)}
+        for future in as_completed(futures):
+            index = futures[future]
+            try:
+                results[index] = _pickler.loads(future.result())
+            except Exception as exc:
+                key = keys[index] if keys is not None else index
+                raise ReplicationError(key, exc) from exc
+    return results
+
+
+def _call_thunk(thunk: Callable[[], R]) -> R:
+    """Invoke a zero-argument replication cell (module-level for pickling)."""
+    return thunk()
+
+
+def run_replications(cells: Mapping[Any, Callable[[], R]] |
+                     Sequence[tuple[Any, Callable[[], R]]], *,
+                     workers: Optional[int] = None) -> dict[Any, R]:
+    """Run keyed zero-argument replications; returns ``{key: result}``.
+
+    The returned dict preserves the input key order (not completion
+    order), so iterating it is deterministic.
+    """
+    pairs = list(cells.items()) if isinstance(cells, Mapping) else list(cells)
+    keys = [key for key, _ in pairs]
+    thunks = [thunk for _, thunk in pairs]
+    results = parallel_map(_call_thunk, thunks, workers=workers, keys=keys)
+    return dict(zip(keys, results))

@@ -9,18 +9,46 @@ number makes simultaneous events FIFO and the whole simulation
 deterministic.  Handles returned by :meth:`Engine.schedule` can be
 cancelled, which is how the CPU executor retracts a burst-completion or
 timeslice-expiry event when an interrupt or wakeup changes the plan.
+
+Hot-path design (the engine is the substrate every experiment pays for):
+
+* The heap stores ``(time, seq, handle)`` tuples, so every ``heapq``
+  comparison is a C-level tuple compare — no Python ``__lt__`` calls on
+  the dispatch path.  ``seq`` is unique, so the handle itself is never
+  compared.
+* :meth:`Engine.run` inlines the pop/dispatch loop instead of paying a
+  ``_peek`` + ``step`` call pair per event.
+* Fired and cancelled handles are recycled through a bounded free list.
+  A handle is only pooled when the engine holds the *sole* remaining
+  reference (checked via ``sys.getrefcount``), so callers that keep a
+  handle around — to cancel it later or inspect ``active`` — can never
+  observe it being reused for an unrelated event.
+* ``pending`` is an O(1) counter maintained on schedule/cancel/fire, and
+  the heap is compacted when cancelled entries exceed half of it, so a
+  long-lived simulation no longer accumulates dead handles until they
+  happen to reach the top.
 """
 
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount
 from typing import Callable, Optional
+
+#: Upper bound on the handle free list; beyond this, dead handles are
+#: simply released to the allocator.
+_POOL_MAX = 1024
+
+#: Compaction threshold: rebuild the heap once more than this many
+#: cancelled entries are queued *and* they outnumber the live ones.
+_COMPACT_MIN = 64
 
 
 class EventHandle:
     """A scheduled event that can be cancelled before it fires."""
 
-    __slots__ = ("time", "seq", "fn", "cancelled", "label")
+    __slots__ = ("time", "seq", "fn", "cancelled", "label", "engine",
+                 "in_queue")
 
     def __init__(self, time: int, seq: int, fn: Callable[[], None], label: str):
         self.time = time
@@ -28,18 +56,29 @@ class EventHandle:
         self.fn: Optional[Callable[[], None]] = fn
         self.cancelled = False
         self.label = label
+        #: back-reference for cancel-time accounting; set by the engine
+        self.engine: Optional["Engine"] = None
+        #: True while the handle sits in the engine's heap
+        self.in_queue = False
 
     def cancel(self) -> None:
         """Retract the event; a cancelled event is skipped when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.fn = None  # break reference cycles early
+        if self.in_queue and self.engine is not None:
+            self.engine._note_cancel()
 
     @property
     def active(self) -> bool:
         return not self.cancelled
 
     def __lt__(self, other: "EventHandle") -> bool:  # heapq tie-break
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Compare the slots directly — no tuple allocation per comparison.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -58,10 +97,13 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._queue: list[EventHandle] = []
+        self._queue: list[tuple[int, int, EventHandle]] = []
         self._seq: int = 0
         self._stopped: bool = False
         self._events_processed: int = 0
+        self._active: int = 0  # non-cancelled events in the heap
+        self._cancelled_in_queue: int = 0
+        self._free: list[EventHandle] = []  # handle free list
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -73,9 +115,22 @@ class Engine:
         """
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < now {self.now}")
-        self._seq += 1
-        handle = EventHandle(time, self._seq, fn, label)
-        heapq.heappush(self._queue, handle)
+        seq = self._seq + 1
+        self._seq = seq
+        free = self._free
+        if free:
+            handle = free.pop()
+            handle.time = time
+            handle.seq = seq
+            handle.fn = fn
+            handle.cancelled = False
+            handle.label = label
+        else:
+            handle = EventHandle(time, seq, fn, label)
+            handle.engine = self
+        handle.in_queue = True
+        self._active += 1
+        heapq.heappush(self._queue, (time, seq, handle))
         return handle
 
     def schedule(self, delay: int, fn: Callable[[], None], label: str = "") -> EventHandle:
@@ -92,18 +147,24 @@ class Engine:
 
         Returns ``False`` when the queue holds no active events.
         """
-        while self._queue:
-            handle = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, handle = heapq.heappop(queue)
             if handle.cancelled:
+                self._cancelled_in_queue -= 1
+                self._recycle(handle)
                 continue
-            if handle.time < self.now:  # pragma: no cover - invariant guard
+            if time < self.now:  # pragma: no cover - invariant guard
                 raise RuntimeError("event queue produced a past event")
-            self.now = handle.time
+            self.now = time
             fn = handle.fn
             handle.fn = None
+            handle.in_queue = False
+            self._active -= 1
             self._events_processed += 1
             assert fn is not None
             fn()
+            self._recycle(handle)
             return True
         return False
 
@@ -116,19 +177,47 @@ class Engine:
         (even if the queue drained earlier), so callers can treat it as
         "simulate this much virtual time".
         """
-        processed = 0
         self._stopped = False
-        while not self._stopped:
+        # The hot loop: everything bound to locals, one heap pop per
+        # event, no helper-method calls.  ``self._queue`` keeps its
+        # identity for the whole run (compaction rewrites it in place),
+        # so the local binding stays valid across callbacks.
+        queue = self._queue
+        free = self._free
+        pop = heapq.heappop
+        processed = 0
+        while True:
             if max_events is not None and processed >= max_events:
                 return
-            next_handle = self._peek()
-            if next_handle is None:
+            if not queue:
                 break
-            if until is not None and next_handle.time > until:
+            entry = queue[0]
+            handle = entry[2]
+            if handle.cancelled:
+                pop(queue)
+                self._cancelled_in_queue -= 1
+                # Expected refs: `entry` tuple + `handle` + getrefcount arg.
+                if len(free) < _POOL_MAX and getrefcount(handle) == 3:
+                    free.append(handle)
+                continue
+            time = entry[0]
+            if until is not None and time > until:
                 break
-            if not self.step():
-                break
+            pop(queue)
+            self.now = time
+            fn = handle.fn
+            handle.fn = None
+            handle.in_queue = False
+            self._active -= 1
+            self._events_processed += 1
+            fn()  # type: ignore[misc]  # active handles always carry a fn
             processed += 1
+            # Expected refs: `entry` tuple + `handle` + getrefcount arg;
+            # anything more means a caller still holds the handle.
+            if len(free) < _POOL_MAX and getrefcount(handle) == 3:
+                free.append(handle)
+            if self._stopped:
+                break
         if until is not None and not self._stopped and self.now < until:
             self.now = until
 
@@ -141,17 +230,66 @@ class Engine:
         self._stopped = True
 
     # ------------------------------------------------------------------
+    # Handle recycling and heap hygiene
+    # ------------------------------------------------------------------
+    def _recycle(self, handle: EventHandle) -> None:
+        """Pool a dead handle if nothing outside the engine references it.
+
+        At this point the expected references are the ``handle`` argument
+        binding and ``getrefcount``'s own — a count of 2.  Anything higher
+        means a caller still holds the handle (e.g. to check ``active``),
+        and reusing it would let a stale ``cancel()`` kill an unrelated
+        event, so it is left to the garbage collector instead.
+        """
+        if len(self._free) < _POOL_MAX and getrefcount(handle) == 2:
+            self._free.append(handle)
+
+    def _note_cancel(self) -> None:
+        """Account for an in-queue cancellation; compact when dead
+        entries dominate the heap."""
+        self._active -= 1
+        cancelled = self._cancelled_in_queue + 1
+        self._cancelled_in_queue = cancelled
+        if cancelled > _COMPACT_MIN and cancelled * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In place matters: :meth:`run` holds a local binding to the queue
+        list, so the list object must keep its identity.
+        """
+        queue = self._queue
+        live: list[tuple[int, int, EventHandle]] = []
+        free = self._free
+        for entry in queue:
+            handle = entry[2]
+            if handle.cancelled:
+                handle.in_queue = False
+                # refcount 3: the entry tuple, `handle`, getrefcount's arg
+                if len(free) < _POOL_MAX and getrefcount(handle) == 3:
+                    free.append(handle)
+            else:
+                live.append(entry)
+        queue[:] = live
+        heapq.heapify(queue)
+        self._cancelled_in_queue = 0
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def _peek(self) -> Optional[EventHandle]:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0] if self._queue else None
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            _, _, handle = heapq.heappop(queue)
+            self._cancelled_in_queue -= 1
+            self._recycle(handle)
+        return queue[0][2] if queue else None
 
     @property
     def pending(self) -> int:
         """Number of active (non-cancelled) events still queued."""
-        return sum(1 for h in self._queue if not h.cancelled)
+        return self._active
 
     @property
     def events_processed(self) -> int:

@@ -162,6 +162,35 @@ class TestControlStates:
         with pytest.raises(ValueError):
             control.enable(Group.NET)
 
+    def test_firing_state_cache_sees_every_toggle(self):
+        """The hot-path firing-state cache must invalidate on every
+        runtime-control mutation (it keys on the control's version)."""
+        build = KtauBuildConfig()
+        engine = Engine()
+        clock = CycleClock(engine, hz=HZ)
+        control = KtauRuntimeControl(build)
+        ktau = Ktau(clock, build, control=control)
+        data = ktau.register_task(1, "t")
+        pt = ktau.registry.point("sys_read")
+
+        def measure_once():
+            ktau.entry(data, pt)
+            advance(engine, 10)
+            ktau.exit(data, pt)
+
+        measure_once()  # enabled: recorded (and cached as firing)
+        assert data.profile[pt.event_id].count == 1
+        control.disable(Group.SYSCALL)
+        measure_once()  # group off: must NOT hit the stale cache
+        assert data.profile[pt.event_id].count == 1
+        control.enable(Group.SYSCALL)
+        control.disable_points("sys_read")
+        measure_once()  # per-point deny set consulted after re-enable
+        assert data.profile[pt.event_id].count == 1
+        control.enable_points("sys_read")
+        measure_once()
+        assert data.profile[pt.event_id].count == 2
+
     def test_mid_region_enable_does_not_corrupt(self):
         build = KtauBuildConfig()
         engine = Engine()

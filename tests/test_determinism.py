@@ -1,9 +1,18 @@
 """Determinism: identical seeds reproduce entire cluster runs bit-for-bit,
-and repeated runs in one process do not contaminate each other."""
+and repeated runs in one process do not contaminate each other.
 
+Bit-reproducibility is also what makes the :mod:`repro.parallel` fan-out
+safe, so the serial/parallel equivalence tests live here: the same sweep
+executed in-process and across worker processes must produce *identical*
+exported profiles and trace statistics."""
+
+from repro.analysis.export import profiles_to_json
 from repro.analysis.profiles import harvest_job
 from repro.cluster.launch import block_placement, launch_mpi_job
 from repro.cluster.machines import make_chiba
+from repro.core.config import KtauBuildConfig
+from repro.core.libktau import LibKtau
+from repro.parallel import parallel_map, run_replications
 from repro.sim.units import MSEC
 from repro.workloads.lu import LuParams, lu_app
 
@@ -48,3 +57,47 @@ def test_back_to_back_runs_do_not_interfere():
     first = fingerprint(run_once(5))
     run_once(99)  # unrelated run in between
     assert fingerprint(run_once(5)) == first
+
+
+# ---------------------------------------------------------------------------
+# Serial vs parallel equivalence
+# ---------------------------------------------------------------------------
+def run_traced(seed):
+    """A small traced run; returns rank 0's kernel trace statistics."""
+    cluster = make_chiba(nnodes=2, seed=seed,
+                         ktau=KtauBuildConfig.full(tracing=True))
+    job = launch_mpi_job(cluster, 2, lu_app(PARAMS),
+                         placement=block_placement(1, 2))
+    job.run(limit_s=600)
+    node = job.world.rank_nodes[0]
+    task = job.world.rank_tasks[0]
+    dump = LibKtau(node.kernel.ktau_proc).read_trace(task.pid)
+    cluster.teardown()
+    return dump.lost, tuple(dump.records)
+
+
+def test_parallel_sweep_bit_identical_to_serial():
+    """The same seed sweep through worker processes exports byte-identical
+    profiles — the contract that makes repro.parallel safe to use."""
+    seeds = [11, 22]
+    serial = [profiles_to_json(run_once(seed)) for seed in seeds]
+    fanned = parallel_map(run_once, seeds, workers=2)
+    assert [profiles_to_json(data) for data in fanned] == serial
+    assert [fingerprint(data) for data in fanned] \
+        == [fingerprint(run_once(seed)) for seed in seeds]
+
+
+def test_parallel_traced_run_matches_serial():
+    """Trace statistics (lost count and every record) survive the worker
+    round-trip unchanged."""
+    seeds = [7, 8]
+    serial = [run_traced(seed) for seed in seeds]
+    assert parallel_map(run_traced, seeds, workers=2) == serial
+
+
+def test_run_replications_matches_serial():
+    cells = {seed: (lambda seed=seed: fingerprint(run_once(seed)))
+             for seed in (3, 4)}
+    fanned = run_replications(cells, workers=2)
+    assert list(fanned) == [3, 4]  # input key order, not completion order
+    assert fanned == {seed: fingerprint(run_once(seed)) for seed in (3, 4)}

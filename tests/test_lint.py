@@ -64,9 +64,11 @@ class TestDeterminismRules:
 
     def test_sim_kernel_core_are_in_scope(self):
         # The rule's declared scope covers exactly the deterministic
-        # substrate the ISSUE names.
+        # substrate — including the replication runner, whose
+        # serial/parallel equivalence depends on it.
         from repro.lint.determinism import SCOPE
-        assert SCOPE == ("repro.sim", "repro.kernel", "repro.core")
+        assert SCOPE == ("repro.sim", "repro.kernel", "repro.core",
+                         "repro.parallel")
 
     def test_wall_clock_in_copied_sim_module(self, tmp_path):
         # A file that *is* part of repro.sim (by path) gets the rule...

@@ -31,6 +31,7 @@ PUBLIC_MODULES = [
     "repro.workloads.interference",
     "repro.oprofile", "repro.oprofile.sampler", "repro.oprofile.compare",
     "repro.oprofile.harness",
+    "repro.parallel", "repro.parallel.runner", "repro.parallel.merge",
     "repro.analysis", "repro.analysis.profiles", "repro.analysis.views",
     "repro.analysis.stats", "repro.analysis.cdf", "repro.analysis.histogram",
     "repro.analysis.tracemerge", "repro.analysis.tracestats",

@@ -138,3 +138,85 @@ def test_events_processed_counter():
         engine.schedule(i + 1, lambda: None)
     engine.run_until_idle()
     assert engine.events_processed == 4
+
+
+def test_pending_consistent_after_fire_and_cancel():
+    engine = Engine()
+    handles = [engine.schedule(i + 1, lambda: None) for i in range(6)]
+    engine.run(max_events=2)
+    assert engine.pending == 4
+    handles[0].cancel()  # already fired: inert, must not change pending
+    assert engine.pending == 4
+    handles[2].cancel()
+    handles[5].cancel()
+    assert engine.pending == 2
+    engine.run_until_idle()
+    assert engine.pending == 0
+    assert engine.events_processed == 4
+
+
+def test_cancel_after_fire_is_harmless():
+    engine = Engine()
+    fired = []
+    handle = engine.schedule(1, lambda: fired.append(1))
+    engine.run_until_idle()
+    before = engine.pending
+    handle.cancel()
+    handle.cancel()
+    assert engine.pending == before == 0
+
+
+def test_mass_cancellation_compacts_the_queue():
+    engine = Engine()
+    keep = engine.schedule(10_000, lambda: None)
+    doomed = [engine.schedule(i + 1, lambda: None) for i in range(500)]
+    for handle in doomed:
+        handle.cancel()
+    # Cancelled entries must not linger: the live queue should be far
+    # smaller than the 501 once scheduled.
+    assert engine.pending == 1
+    assert len(engine._queue) < 250
+    fired = []
+    keep2 = engine.schedule_at(10_000, lambda: fired.append("kept"))
+    engine.run_until_idle()
+    assert engine.now == 10_000
+    assert fired == ["kept"]  # survivors fire despite the compaction
+    assert keep.active and keep2.active  # never cancelled
+
+
+def test_held_handle_is_never_recycled():
+    engine = Engine()
+    held = engine.schedule(1, lambda: None)
+    engine.run_until_idle()
+    # The caller still holds `held`, so scheduling more events must not
+    # hand the same object back with new identity.
+    fresh = engine.schedule(5, lambda: None)
+    assert fresh is not held
+    assert not held.in_queue  # the old handle stays retired
+    held.cancel()  # stale cancel must not touch the fresh event
+    engine.run_until_idle()
+    assert engine.now == 6  # fresh event (scheduled at now=1 + 5) fired
+
+
+def test_discarded_handles_are_pooled():
+    engine = Engine()
+    for i in range(50):
+        engine.schedule(i + 1, lambda: None)  # handles discarded immediately
+    engine.run_until_idle()
+    assert len(engine._free) > 0  # the free list actually recycles
+    # Pooled handles must behave like new ones on reuse.
+    fired = []
+    engine.schedule(1, lambda: fired.append("again"))
+    engine.run_until_idle()
+    assert fired == ["again"]
+
+
+def test_handle_ordering_time_then_seq():
+    engine = Engine()
+    early = engine.schedule(10, lambda: None)
+    late = engine.schedule(20, lambda: None)
+    tied = engine.schedule(10, lambda: None)
+    assert early < late
+    assert early < tied  # same time: earlier seq wins (FIFO)
+    assert not (tied < early)
+    engine.run_until_idle()
