@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-json check bench bench-smoke
+.PHONY: test lint lint-json check bench bench-smoke obs-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,7 +15,10 @@ lint-json:
 check: lint test
 
 bench:
-	$(PYTHON) benchmarks/bench.py --out BENCH_pr3.json
+	$(PYTHON) benchmarks/bench.py --out BENCH_pr4.json
 
 bench-smoke:
-	$(PYTHON) benchmarks/bench.py --smoke
+	$(PYTHON) benchmarks/bench.py --smoke --out bench_smoke.json
+
+obs-demo:
+	$(PYTHON) -m repro obs --trace-out obs_demo.trace.json

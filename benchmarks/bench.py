@@ -1,8 +1,7 @@
 """The committed performance harness: ``make bench``.
 
-Measures the two things this substrate optimises and writes them to a
-JSON artifact (``BENCH_pr3.json`` at the repo root is the committed
-record):
+Measures the things this substrate optimises and writes them to a JSON
+artifact (``BENCH_pr4.json`` at the repo root is the committed record):
 
 1. **Engine hot path** — the self-rescheduling churn loop from
    ``benchmarks/test_simulator_speed.py`` (50k events through the
@@ -12,6 +11,10 @@ record):
    through ``repro.parallel`` worker processes, with the serial and
    parallel profile exports hashed to prove bit-identity alongside the
    wall-clock numbers.
+3. **Observability** — the churn loop re-run with :mod:`repro.obs`
+   metrics enabled (the KTAU-style always-on-counters cost, expected to
+   be noise), plus the harness metrics snapshot of an instrumented
+   churn + LU replication.
 
 Honesty note: speedup is reported next to ``cpu_count``.  On a
 single-CPU host the parallel sweep *cannot* beat serial (expect ~1x
@@ -160,6 +163,44 @@ def bench_parallel_sweep(nreps: int, worker_counts: tuple[int, ...]) -> dict:
     }
 
 
+def bench_obs_overhead(events: int, rounds: int) -> dict:
+    """Churn mean with obs metrics on vs off.
+
+    The dispatch loop itself is uninstrumented (counters are published
+    once per ``Engine.run``), so the on/off ratio should sit within
+    measurement noise; the committed number keeps that claim honest.
+    """
+    from repro import obs
+
+    off = bench_engine_churn(events, rounds)
+    obs.enable(metrics=True, tracing=False, progress=False)
+    try:
+        on = bench_engine_churn(events, rounds)
+    finally:
+        obs.disable()
+    return {
+        "events": events,
+        "rounds": rounds,
+        "mean_s_obs_off": off["mean_s"],
+        "mean_s_obs_on": on["mean_s"],
+        "overhead_pct": 100.0 * (on["mean_s"] - off["mean_s"])
+        / off["mean_s"],
+    }
+
+
+def metrics_snapshot(events: int) -> dict:
+    """Harness metrics for one instrumented churn + one LU replication."""
+    from repro import obs
+
+    obs.enable(metrics=True, tracing=False, progress=False)
+    try:
+        bench_engine_churn(events, 1)
+        _lu_replication(seed=1)
+        return obs.snapshot()
+    finally:
+        obs.disable()
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the harness and write the JSON artifact."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -187,6 +228,8 @@ def main(argv: list[str] | None = None) -> int:
         "engine_churn": bench_engine_churn(churn_events, churn_rounds),
         "engine_cancel_churn": bench_cancel_churn(churn_events, churn_rounds),
         "parallel_sweep": bench_parallel_sweep(nreps, worker_counts),
+        "obs_overhead": bench_obs_overhead(churn_events, churn_rounds),
+        "metrics": metrics_snapshot(churn_events),
     }
 
     payload = json.dumps(result, indent=2, sort_keys=True)

@@ -147,6 +147,31 @@ def profiles_to_json(data: JobData) -> str:
     return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 
 
+def ktaud_snapshots_to_json(snapshots: Iterable) -> str:
+    """Serialise a KTAUD run's periodic snapshots to byte-stable JSON.
+
+    ``snapshots`` is :attr:`repro.core.clients.ktaud.Ktaud.snapshots` —
+    each entry carries the extraction time and the per-PID profile (and
+    optionally trace) dumps read from /proc/ktau at that instant.  The
+    encoding follows the same canonical rules as :func:`profiles_to_json`
+    (sorted keys, fixed separators, nothing ambient) so that two KTAUD
+    runs over the same simulation serialise identically.
+    """
+    doc = {
+        "snapshots": [{
+            "time_ns": snap.time_ns,
+            "profiles": {str(pid): _kprofile_doc(dump)
+                         for pid, dump in snap.profiles.items()},
+            "traces": {str(pid): {
+                "lost": trace.lost,
+                "records": [[cycles, name, int(kind), value]
+                            for cycles, name, kind, value in trace.records],
+            } for pid, trace in snap.traces.items()},
+        } for snap in snapshots],
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
 def validate_chrome_trace(payload: str) -> tuple[int, int]:
     """Sanity-check an exported trace; returns (#duration pairs, #instants).
 

@@ -3,12 +3,21 @@
 Unix-like clients in the spirit of the paper's runKtau, plus one command
 per reproduced table/figure so the whole evaluation can be regenerated
 from a shell.
+
+Every subcommand accepts the shared observability flags: ``--metrics``
+(print a harness metrics snapshot on exit), ``--trace-out FILE`` (write
+a Chrome trace-event file plus a ``*.manifest.json`` run manifest), and
+``--log-level`` (route status chatter through :mod:`logging`).  Like
+KTAU itself, the instrumentation costs nothing when it is off.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
+
+log = logging.getLogger("repro.cli")
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -41,11 +50,11 @@ def _cmd_table(args: argparse.Namespace) -> int:
         print(render_table1())
     elif args.which == 2:
         from repro.experiments import table2
-        print("running 10 cluster simulations (a few minutes) ...")
+        log.info("running 10 cluster simulations (a few minutes) ...")
         print(table2.render(table2.build()))
     elif args.which == 3:
         from repro.experiments import table3
-        print("running the perturbation matrix ...")
+        log.info("running the perturbation matrix ...")
         rows = table3.build(seeds=tuple(range(1, args.seeds + 1)),
                             workers=args.workers)
         print(table3.render(rows))
@@ -190,14 +199,115 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Observability demo: run a small instrumented workload and print
+    the harness metrics snapshot as JSON."""
+    import json
+
+    from repro import obs
+    from repro.core.clients.runktau import run_ktau
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.params import KernelParams
+    from repro.sim.engine import Engine
+    from repro.sim.rng import RngHub
+    from repro.sim.units import MSEC, SEC
+
+    # The demo force-enables metrics (keeping tracing as the shared
+    # flags left it) so it is useful even without --metrics; if the
+    # shared flags did not already enable observability, turn it back
+    # off on the way out so in-process callers see no ambient state.
+    was_enabled = obs.runtime.enabled()
+    obs.runtime.enable(metrics=True, tracing=obs.runtime.tracing_on,
+                       progress=False)
+    try:
+        with obs.span("obs.demo", "cli"):
+            engine = Engine()
+            kernel = Kernel(engine, KernelParams(), "node0",
+                            RngHub(args.seed))
+
+            def program(ctx):
+                for _ in range(args.iterations):
+                    yield from ctx.compute(2 * MSEC)
+                    yield from ctx.syscall("sys_read")
+                    yield from ctx.sleep(1 * MSEC)
+
+            result = run_ktau(kernel, program, comm="obs-demo")
+            engine.run(until=60 * SEC)
+            log.info("demo program ran for %.3f s simulated",
+                     result.elapsed_ns / SEC)
+        print(json.dumps(obs.snapshot(), indent=2, sort_keys=True))
+    finally:
+        if not was_enabled:
+            obs.runtime.disable()
+    return 0
+
+
+def _cmd_ktaud(args: argparse.Namespace) -> int:
+    """Run a workload under a KTAUD daemon and dump its periodic
+    snapshots as canonical JSON (the paper's online-monitoring mode)."""
+    from repro.analysis.export import ktaud_snapshots_to_json
+    from repro.core.clients.ktaud import Ktaud
+    from repro.core.clients.runktau import run_ktau
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.params import KernelParams
+    from repro.sim.engine import Engine
+    from repro.sim.rng import RngHub
+    from repro.sim.units import MSEC, SEC
+
+    engine = Engine()
+    kernel = Kernel(engine, KernelParams(), "node0", RngHub(args.seed))
+
+    def program(ctx):
+        for _ in range(args.iterations):
+            yield from ctx.compute(args.compute_ms * MSEC)
+            yield from ctx.syscall("sys_write")
+            yield from ctx.sleep(args.sleep_ms * MSEC)
+
+    run_ktau(kernel, program, comm=args.name)
+    daemon = Ktaud(kernel, period_ns=args.period_ms * MSEC,
+                   drain_traces=args.drain_traces)
+    daemon.start()
+    engine.run(until=args.duration_s * SEC)
+    payload = ktaud_snapshots_to_json(daemon.snapshots)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload)
+        log.info("wrote %d KTAUD snapshots to %s",
+                 len(daemon.snapshots), args.out)
+    else:
+        print(payload)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests/completion)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="KTAU reproduction (CLUSTER 2006) command-line tools")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    # Shared observability/diagnostic flags.  argparse only parses flags
+    # that come *after* the subcommand from the subparser, so these ride
+    # along as a parent of every subparser rather than on the root.
+    common = argparse.ArgumentParser(add_help=False)
+    obs_group = common.add_argument_group("observability")
+    obs_group.add_argument("--metrics", action="store_true",
+                           help="collect harness metrics and print a "
+                                "snapshot on exit")
+    obs_group.add_argument("--trace-out", metavar="FILE", default=None,
+                           help="write a Chrome trace-event file (plus "
+                                "FILE.manifest.json) for this run")
+    obs_group.add_argument("--log-level", default="warning",
+                           choices=("debug", "info", "warning", "error"),
+                           help="harness log verbosity (default: warning)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run = sub.add_parser("runktau", help="time a canned program under runKtau")
+    def add_parser(name: str, **kwargs):
+        return sub.add_parser(name, parents=[common], **kwargs)
+
+    run = add_parser("runktau", help="time a canned program under runKtau")
     run.add_argument("--name", default="job")
     run.add_argument("--iterations", type=int, default=5)
     run.add_argument("--compute-ms", type=int, default=8)
@@ -208,7 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
     workers_help = ("worker processes for independent simulations "
                     "(default: $REPRO_WORKERS or serial)")
 
-    table = sub.add_parser("table", help="regenerate a paper table (1-4)")
+    table = add_parser("table", help="regenerate a paper table (1-4)")
     table.add_argument("which", type=int, choices=(1, 2, 3, 4))
     table.add_argument("--seeds", type=int, default=3,
                        help="seeds for the perturbation table")
@@ -216,15 +326,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help=workers_help)
     table.set_defaults(func=_cmd_table)
 
-    figure = sub.add_parser("figure", help="regenerate a paper figure (2-10)")
+    figure = add_parser("figure", help="regenerate a paper figure (2-10)")
     figure.add_argument("which", type=int, choices=tuple(range(2, 11)))
     figure.add_argument("--seed", type=int, default=1)
     figure.add_argument("--workers", "-j", type=int, default=None,
                        help=workers_help)
     figure.set_defaults(func=_cmd_figure)
 
-    noise = sub.add_parser("noise",
-                           help="OS-noise amplification sweep (paper §1)")
+    noise = add_parser("noise",
+                       help="OS-noise amplification sweep (paper §1)")
     noise.add_argument("--scales", default="4,16,64",
                        help="comma-separated node counts")
     noise.add_argument("--seed", type=int, default=1)
@@ -232,42 +342,116 @@ def build_parser() -> argparse.ArgumentParser:
                        help=workers_help)
     noise.set_defaults(func=_cmd_noise)
 
-    lm = sub.add_parser("lmbench", help="run the LMBENCH-style probes")
+    lm = add_parser("lmbench", help="run the LMBENCH-style probes")
     lm.add_argument("--seed", type=int, default=5)
     lm.set_defaults(func=_cmd_lmbench)
 
-    io = sub.add_parser("ionode", help="run the I/O-node scaling extension")
+    io = add_parser("ionode", help="run the I/O-node scaling extension")
     io.add_argument("--clients", default="1,2,4,8")
     io.add_argument("--requests", type=int, default=12)
     io.add_argument("--bytes", type=int, default=65_536)
     io.add_argument("--seed", type=int, default=1)
     io.set_defaults(func=_cmd_ionode)
 
-    cmp_ = sub.add_parser("compare-sampling",
-                          help="direct measurement vs OProfile-like sampling")
+    cmp_ = add_parser("compare-sampling",
+                      help="direct measurement vs OProfile-like sampling")
     cmp_.set_defaults(func=_cmd_compare_sampling)
 
-    lint = sub.add_parser("lint", help="run ktaulint static analysis")
+    lint = add_parser("lint", help="run ktaulint static analysis")
     lint.add_argument("paths", nargs="*", default=["src/repro"])
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--select", default=None,
                       help="comma-separated rule IDs to report")
     lint.set_defaults(func=_cmd_lint)
 
-    stats = sub.add_parser("stats",
-                           help="ParaProf-style cross-rank statistics")
+    stats = add_parser("stats",
+                       help="ParaProf-style cross-rank statistics")
     stats.add_argument("--config", default="64x2 Anomaly",
                        choices=["128x1", "64x2 Anomaly", "64x2",
                                 "64x2 Pinned", "64x2 Pin,I-Bal"])
     stats.set_defaults(func=_cmd_stats)
 
+    obs = add_parser("obs", help="observability demo: metrics snapshot of "
+                                 "a small instrumented run")
+    obs.add_argument("--iterations", type=int, default=10)
+    obs.add_argument("--seed", type=int, default=42)
+    obs.set_defaults(func=_cmd_obs)
+
+    ktaud = add_parser("ktaud", help="run a workload under KTAUD and dump "
+                                     "its periodic snapshots as JSON")
+    ktaud.add_argument("--name", default="job")
+    ktaud.add_argument("--iterations", type=int, default=20)
+    ktaud.add_argument("--compute-ms", type=int, default=8)
+    ktaud.add_argument("--sleep-ms", type=int, default=3)
+    ktaud.add_argument("--period-ms", type=int, default=100,
+                       help="KTAUD extraction period (milliseconds)")
+    ktaud.add_argument("--duration-s", type=int, default=2,
+                       help="simulated seconds to run")
+    ktaud.add_argument("--drain-traces", action="store_true",
+                       help="also drain per-PID trace buffers each period")
+    ktaud.add_argument("--seed", type=int, default=42)
+    ktaud.add_argument("--out", default=None,
+                       help="write the JSON dump here instead of stdout")
+    ktaud.set_defaults(func=_cmd_ktaud)
+
     return parser
 
 
+def _configure_logging(level_name: str) -> None:
+    level = getattr(logging, level_name.upper(), logging.WARNING)
+    logging.basicConfig(level=level,
+                        format="[%(levelname)s] %(name)s: %(message)s",
+                        stream=sys.stderr)
+    logging.getLogger("repro").setLevel(level)
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    When ``--metrics`` or ``--trace-out`` is given the whole command
+    runs under harness observability: the dispatch is wrapped in a root
+    span, and on the way out the trace (plus a run manifest) is written
+    and/or the metrics snapshot is printed.  Without the flags this adds
+    two boolean checks to the run — observability stays zero-cost off.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    _configure_logging(getattr(args, "log_level", "warning"))
+    metrics = getattr(args, "metrics", False)
+    trace_out = getattr(args, "trace_out", None)
+    if not (metrics or trace_out):
+        return args.func(args)
+
+    import json
+
+    from repro import __version__, obs
+    from repro.obs.manifest import build_manifest, manifest_path_for
+
+    obs.runtime.enable(metrics=True, tracing=bool(trace_out))
+    started_utc = obs.runtime.wall_time_iso()
+    t0 = obs.runtime.wall_clock()
+    argv_used = list(sys.argv[1:] if argv is None else argv)
+    try:
+        with obs.span(f"repro.{args.command}", "cli"):
+            code = args.func(args)
+        wall_s = obs.runtime.wall_clock() - t0
+        snapshot = obs.snapshot()
+        if trace_out:
+            obs.save_trace(trace_out)
+            config = {key: value for key, value in sorted(vars(args).items())
+                      if key != "func" and not callable(value)}
+            manifest = build_manifest(
+                command=args.command, argv=argv_used, config=config,
+                wall_s=wall_s, started_utc=started_utc, metrics=snapshot,
+                trace_file=trace_out, version=__version__)
+            manifest.write(manifest_path_for(trace_out))
+            log.info("wrote trace to %s (manifest: %s)", trace_out,
+                     manifest_path_for(trace_out))
+        if metrics:
+            print(json.dumps(snapshot, indent=2, sort_keys=True),
+                  file=sys.stderr)
+        return code
+    finally:
+        obs.runtime.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -35,6 +35,7 @@ from repro.core.config import KtauBuildConfig, KtauRuntimeControl
 from repro.core.overhead import OverheadModel, ZeroOverheadModel
 from repro.core.registry import EventRegistry, InstrumentationPoint, PointKind
 from repro.core.tracebuf import TraceBuffer, TraceKind, TraceRecord
+from repro.obs import runtime as _obs
 from repro.sim.clock import CycleClock
 
 
@@ -220,6 +221,13 @@ class Ktau:
         self._no_overhead = isinstance(self.overhead, ZeroOverheadModel)
         self._state_cache: dict[InstrumentationPoint, int] = {}
         self._state_cache_version = -1
+        # Harness observability (repro.obs): always-on plain counters for
+        # the firing-state cache, published as deltas at flush points
+        # (task exit, /proc snapshot) — never per firing.
+        self._firings = 0
+        self._cache_misses = 0
+        self._cache_invalidations = 0
+        self._obs_base = [0, 0, 0]
 
     # ------------------------------------------------------------------
     # Process life-cycle (engaged on fork/exit)
@@ -250,6 +258,8 @@ class Ktau:
                     f"open: {open_points} (every entry needs a matching "
                     f"exit before process exit)")
             self.zombies[pid] = data
+            if _obs.metrics_on:
+                self._publish_obs(data)
 
     def reap(self, pid: int) -> Optional[KtauTaskData]:
         """Remove and return a zombie's data (runKtau's extraction step)."""
@@ -268,13 +278,16 @@ class Ktau:
         """0 = no-op, 1 = compiled but disabled (flag check), 2 = enabled."""
         if data.frozen:
             return 0
+        self._firings += 1
         control = self.control
         version = control.version
         if version != self._state_cache_version:
             self._state_cache.clear()
             self._state_cache_version = version
+            self._cache_invalidations += 1
         state = self._state_cache.get(point)
         if state is None:
+            self._cache_misses += 1
             if not control.group_compiled(point.group):
                 state = 0
             elif not control.group_enabled(point.group):
@@ -442,6 +455,40 @@ class Ktau:
             self.exit(data, point)
 
     # ------------------------------------------------------------------
+    # Harness observability (repro.obs)
+    # ------------------------------------------------------------------
+    def _publish_obs(self, data: Optional[KtauTaskData] = None) -> None:
+        """Publish firing-cache deltas (and, at a task exit, that task's
+        trace-buffer totals) into the harness metrics registry.
+
+        Called only when collection is on; daemons that never exit are
+        captured by the snapshot-time delta publish instead.
+        """
+        from repro.obs.metrics import REGISTRY
+        base = self._obs_base
+        firings = self._firings
+        misses = self._cache_misses
+        invalidations = self._cache_invalidations
+        REGISTRY.counter("ktau.firings").inc(firings - base[0])
+        REGISTRY.counter("ktau.firing_cache_misses").inc(misses - base[1])
+        REGISTRY.counter("ktau.firing_cache_hits").inc(
+            (firings - misses) - (base[0] - base[1]))
+        REGISTRY.counter("ktau.cache_invalidations").inc(
+            invalidations - base[2])
+        self._obs_base = [firings, misses, invalidations]
+        if data is not None:
+            REGISTRY.counter("ktau.tasks_exited").inc()
+            REGISTRY.counter("ktau.unmatched_exits").inc(data.unmatched_exits)
+            trace = data.trace
+            if trace is not None:
+                REGISTRY.counter("tracebuf.records_written").inc(
+                    trace.total_records)
+                REGISTRY.counter("tracebuf.records_lost").inc(
+                    trace.lost_count)
+                REGISTRY.counter("tracebuf.batched_flushes").inc(
+                    trace.flush_count)
+
+    # ------------------------------------------------------------------
     # Snapshot access (backing for /proc/ktau reads)
     # ------------------------------------------------------------------
     def snapshot(self, pids: Optional[list[int]] = None,
@@ -452,6 +499,8 @@ class Ktau:
         is no kernel-side session state (reads can race with updates, as in
         the real implementation).
         """
+        if _obs.metrics_on:
+            self._publish_obs()
         pool: dict[int, KtauTaskData] = dict(self.tasks)
         if include_zombies:
             for pid, data in self.zombies.items():

@@ -80,6 +80,9 @@ class TraceBuffer:
         self._lost = 0  # cumulative overwrites
         self._total = 0  # cumulative writes
         self._pending: list[TraceRecord] = []  # batched, not yet in the ring
+        #: cumulative batched folds into the ring (observability; strict
+        #: mode never batches, so it stays 0 there)
+        self.flush_count = 0
 
     def append(self, record: TraceRecord) -> None:
         if self.strict:
@@ -107,6 +110,7 @@ class TraceBuffer:
         if not n:
             return
         cap = self.capacity
+        self.flush_count += 1
         self._total += n
         overflow = self._count + n - cap
         if overflow > 0:

@@ -56,7 +56,8 @@ def prefetch(app: str = "lu", scale: float = 1.0,
         return run_chiba_app(config, app, params)
 
     results = parallel_map(run_config, missing, workers=workers,
-                           keys=[c.label for c in missing])
+                           keys=[c.label for c in missing],
+                           label=f"chiba-{app}")
     for config, data in zip(missing, results):
         _cache[_key(config, app, scale)] = data
 

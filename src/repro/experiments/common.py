@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro import obs
 from repro.analysis.profiles import JobData, harvest_job
 from repro.cluster.launch import block_placement, launch_mpi_job
 from repro.cluster.machines import make_chiba
@@ -96,6 +97,13 @@ def run_chiba_app(config: ChibaConfig, app_name: str, params,
     ``app_name`` is ``"lu"`` or ``"sweep3d"``; ``params`` the matching
     parameter dataclass.
     """
+    with obs.span(f"chiba:{config.label}:{app_name}:seed{config.seed}",
+                  "experiment", nranks=config.nranks):
+        return _run_chiba_app(config, app_name, params, limit_s)
+
+
+def _run_chiba_app(config: ChibaConfig, app_name: str, params,
+                   limit_s: float) -> JobData:
     nnodes_used = config.nranks // config.procs_per_node
     anomaly_nodes = (ANOMALY_NODE,) if config.anomaly else ()
     if config.anomaly and config.procs_per_node == 1:

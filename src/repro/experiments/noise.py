@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.analysis.profiles import JobData, harvest_job
 from repro.cluster.daemons import start_busy_daemon
 from repro.cluster.launch import block_placement, launch_mpi_job
@@ -117,9 +118,12 @@ def amplification_sweep(scales=(4, 16, 64), params: NoiseParams | None = None,
         params = NoiseParams()
     cells = [(n, params, seed, noisy) for n in scales
              for noisy in (False, True)]
-    flat = parallel_map(_run_noise_cell, cells, workers=workers,
-                        keys=[(n, "noisy" if noisy else "clean")
-                              for n, _p, _s, noisy in cells])
+    with obs.span("noise.amplification_sweep", "experiment",
+                  scales=list(scales)):
+        flat = parallel_map(_run_noise_cell, cells, workers=workers,
+                            keys=[(n, "noisy" if noisy else "clean")
+                                  for n, _p, _s, noisy in cells],
+                            label="noise")
     results = []
     for i, nranks in enumerate(scales):
         clean_s, _ = flat[2 * i]

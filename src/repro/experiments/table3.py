@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.config import KtauBuildConfig
 from repro.core.points import Group
 from repro.experiments.common import ChibaConfig, run_chiba_app
@@ -98,7 +99,9 @@ def build(nranks: int = 16, seeds: tuple[int, ...] = (1, 2, 3),
         return run_chiba_app(configs[name].with_seed(seed), "lu",
                              params).exec_time_s
 
-    flat = parallel_map(run_cell, cells, workers=workers, keys=cells)
+    with obs.span("table3.build", "experiment", cells=len(cells)):
+        flat = parallel_map(run_cell, cells, workers=workers, keys=cells,
+                            label="table3")
     times: dict[str, list[float]] = {name: [] for name in CONFIG_ORDER}
     for (name, _seed), exec_s in zip(cells, flat):
         times[name].append(exec_s)
@@ -133,7 +136,8 @@ def build_sweep3d(nranks: int = 16, seeds: tuple[int, ...] = (1, 2),
         return run_chiba_app(configs[name].with_seed(seed), "sweep3d",
                              params).exec_time_s
 
-    flat = parallel_map(run_cell, cells, workers=workers, keys=cells)
+    flat = parallel_map(run_cell, cells, workers=workers, keys=cells,
+                        label="table3-sweep3d")
     base = flat[:len(seeds)]
     inst = flat[len(seeds):]
     base_avg = sum(base) / len(base)

@@ -30,20 +30,25 @@ from repro.lint.findings import Finding
 #: Top-level modules (repro.cli, repro.__main__, repro/__init__) are the
 #: application shell and may import anything.
 LAYER_DEPS: dict[str, set[str]] = {
-    "sim": set(),
-    "core": {"sim"},
+    # Harness observability is the substrate below the substrate: every
+    # layer may publish into it, and it may import nothing back.
+    "obs": set(),
+    "sim": {"obs"},
+    "core": {"obs", "sim"},
     "kernel": {"core", "sim"},
     "tau": {"core", "kernel", "sim"},
     "workloads": {"kernel", "sim", "tau"},
     "cluster": {"core", "kernel", "sim", "tau"},
     "oprofile": {"analysis", "cluster", "core", "kernel", "sim", "tau",
                  "workloads"},
-    "analysis": {"cluster", "core", "kernel", "sim", "tau", "workloads"},
-    "experiments": {"analysis", "cluster", "core", "kernel", "oprofile",
-                    "parallel", "sim", "tau", "workloads"},
+    "analysis": {"cluster", "core", "kernel", "obs", "sim", "tau",
+                 "workloads"},
+    "experiments": {"analysis", "cluster", "core", "kernel", "obs",
+                    "oprofile", "parallel", "sim", "tau", "workloads"},
     # The replication runner only moves opaque payloads between
-    # processes; it must know nothing about what a replication computes.
-    "parallel": set(),
+    # processes; it must know nothing about what a replication computes
+    # (obs is content-blind, so publishing timings keeps that true).
+    "parallel": {"obs"},
     "lint": set(),  # the linter must not depend on what it lints
 }
 

@@ -6,7 +6,10 @@ streams — the tracing-correctness concern of Dagenais et al.  All time
 must come from the simulated clock (:mod:`repro.sim.clock`) and all
 randomness from seeded named streams (:mod:`repro.sim.rng`).  These
 rules forbid the ways nondeterminism usually leaks into a refactor of
-``repro.sim`` / ``repro.kernel`` / ``repro.core``:
+``repro.sim`` / ``repro.kernel`` / ``repro.core`` / ``repro.parallel``
+/ ``repro.obs`` (the observability layer observes wall time but must
+never let it feed back into results, so its two sanctioned reads in
+``repro.obs.runtime`` carry explicit line suppressions):
 
 KTAU201
     Wall-clock reads: ``time.time``/``monotonic``/``perf_counter`` (and
@@ -33,7 +36,8 @@ from typing import Iterable, Optional
 from repro.lint.engine import Rule, SourceFile, register
 from repro.lint.findings import Finding
 
-SCOPE = ("repro.sim", "repro.kernel", "repro.core", "repro.parallel")
+SCOPE = ("repro.sim", "repro.kernel", "repro.core", "repro.parallel",
+         "repro.obs")
 
 #: (penultimate, last) dotted-name components of banned wall-clock calls.
 _WALL_CLOCK = {

@@ -1,0 +1,102 @@
+"""repro.obs — harness-level observability (metrics, spans, manifests).
+
+KTAU's thesis applied to the reproduction itself: the layer that *runs*
+the experiments (discrete-event engine, measurement system, replication
+fan-out) carries low-overhead always-on counters plus opt-in span
+tracing, with dynamic enable/disable and a documented zero-overhead-off
+fast path — the same design KTAU uses inside the kernel and GAPP uses
+for its fast profiler.
+
+Three facilities:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges and histograms; instrumented modules publish plain-integer
+  deltas at flush points (end of an engine run, a task exit, a
+  replication completion), never per event.
+* :mod:`repro.obs.tracer` — wall-clock spans exported as Chrome
+  trace-event JSON (``chrome://tracing`` / Perfetto).
+* :mod:`repro.obs.manifest` — per-run :class:`RunManifest` documents
+  (command, config, seeds, wall time, metric snapshot) written next to
+  experiment output.
+
+This package sits at the *bottom* of the architecture (it imports
+nothing from ``repro``), so every layer may publish into it; it never
+touches simulated state, so enabling it cannot perturb results — the
+determinism tests assert byte-identical profiles with observability on
+and off, serial and parallel.
+
+Typical use::
+
+    from repro import obs
+    obs.enable(metrics=True, tracing=True)
+    ... run experiments ...
+    print(json.dumps(obs.snapshot(), indent=2, sort_keys=True))
+    obs.save_trace("run.trace.json")
+    obs.disable()
+
+or from the shell: ``repro table 3 --metrics --trace-out t.json``.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import ContextManager
+
+from repro.obs import runtime
+from repro.obs.manifest import (RunManifest, build_manifest,
+                                manifest_path_for)
+from repro.obs.metrics import (REGISTRY, Counter, Gauge, Histogram,
+                               MetricsRegistry, snapshot)
+from repro.obs.runtime import (disable, enable, enabled, progress,
+                               wall_clock, wall_time_iso)
+from repro.obs.tracer import Tracer, validate_trace_events
+
+#: Reusable do-nothing context manager for the tracing-off fast path.
+_NULL_SPAN: ContextManager[None] = nullcontext()
+
+
+def span(name: str, category: str = "harness", **args) -> ContextManager[None]:
+    """A span on the global tracer, or a no-op when tracing is off."""
+    if not runtime.tracing_on:
+        return _NULL_SPAN
+    from repro.obs import tracer
+    return tracer.TRACER.span(name, category, **args)
+
+
+def instant(name: str, category: str = "harness", **args) -> None:
+    """An instant mark on the global tracer (no-op when tracing is off)."""
+    if not runtime.tracing_on:
+        return
+    from repro.obs import tracer
+    tracer.TRACER.instant(name, category, **args)
+
+
+def save_trace(path: str, process_name: str = "repro") -> None:
+    """Write the global tracer's Chrome trace-event file."""
+    from repro.obs import tracer
+    tracer.TRACER.save(path, process_name)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "RunManifest",
+    "Tracer",
+    "build_manifest",
+    "disable",
+    "enable",
+    "enabled",
+    "instant",
+    "manifest_path_for",
+    "progress",
+    "runtime",
+    "save_trace",
+    "snapshot",
+    "span",
+    "validate_trace_events",
+    "wall_clock",
+    "wall_time_iso",
+]

@@ -1,0 +1,112 @@
+"""Per-run manifests: what ran, with what, and what it cost.
+
+A :class:`RunManifest` is the harness-level analogue of the profile
+dumps the simulation produces: a small JSON document written next to
+experiment output recording the command, its configuration, the seeds
+involved, wall time, and the metric snapshot (engine event counts,
+measurement-layer cache behaviour, fan-out timings).  Every bench
+trajectory entry and every future perf PR can cite these numbers
+instead of re-deriving them.
+
+The document separates reproducible content from ambient stamps: the
+``run`` block (command, config, seeds, versions) describes what to rerun,
+while ``wall`` (timings, host stamps) is explicitly non-reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Manifest schema version (bump on breaking layout changes).
+MANIFEST_VERSION = 1
+
+
+def manifest_path_for(trace_path: str) -> str:
+    """Conventional manifest path next to a trace file.
+
+    ``t.json`` maps to ``t.manifest.json``; non-``.json`` paths get the
+    suffix appended.
+    """
+    if trace_path.endswith(".json"):
+        return trace_path[:-len(".json")] + ".manifest.json"
+    return trace_path + ".manifest.json"
+
+
+@dataclass
+class RunManifest:
+    """One run's provenance + cost record."""
+
+    command: str
+    argv: list[str]
+    config: dict[str, Any]
+    seeds: list[int]
+    wall_s: float
+    started_utc: str
+    metrics: dict[str, Any]
+    trace_file: Optional[str] = None
+    version: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_doc(self) -> dict:
+        return {
+            "manifest_version": MANIFEST_VERSION,
+            "run": {
+                "command": self.command,
+                "argv": list(self.argv),
+                "config": self.config,
+                "seeds": list(self.seeds),
+                "repro_version": self.version,
+            },
+            "wall": {
+                "started_utc": self.started_utc,
+                "wall_s": self.wall_s,
+            },
+            "metrics": self.metrics,
+            "trace_file": self.trace_file,
+            "extra": self.extra,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_doc(), indent=2, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON coercion for argparse config values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def build_manifest(command: str, argv: list[str], config: dict[str, Any],
+                   wall_s: float, started_utc: str, metrics: dict[str, Any],
+                   trace_file: Optional[str] = None,
+                   version: str = "") -> RunManifest:
+    """Assemble a manifest from a finished run.
+
+    ``config`` is typically ``vars(args)`` from argparse; callables and
+    other non-JSON values are coerced to ``repr`` strings, and seeds are
+    pulled from the conventional ``seed``/``seeds`` keys.
+    """
+    clean = {k: _jsonable(v) for k, v in config.items()
+             if not callable(v) and k != "func"}
+    seeds: list[int] = []
+    if isinstance(clean.get("seed"), int):
+        seeds = [clean["seed"]]
+    elif isinstance(clean.get("seeds"), int):
+        seeds = list(range(1, clean["seeds"] + 1))
+    elif isinstance(clean.get("seeds"), list):
+        seeds = [s for s in clean["seeds"] if isinstance(s, int)]
+    return RunManifest(command=command, argv=list(argv), config=clean,
+                       seeds=seeds, wall_s=wall_s, started_utc=started_utc,
+                       metrics=metrics, trace_file=trace_file,
+                       version=version)

@@ -1,0 +1,149 @@
+"""Counters, gauges, and histograms for the harness itself.
+
+The registry is deliberately simple: three metric kinds, a flat
+name-indexed table, and a JSON-able snapshot.  Instrumented modules keep
+their own plain-integer counters on the hot path (an attribute increment
+is the cheapest observation Python offers) and *publish* deltas here at
+flush points — the end of an :meth:`~repro.sim.engine.Engine.run`, a
+task exit, a replication completion — so the per-event cost of metrics
+is zero whether collection is on or off.  This is the same always-on /
+extract-periodically split KTAU itself uses between instrumentation
+macros and ``/proc/ktau`` reads.
+
+Names are dotted, ``layer.thing`` (``engine.events_fired``,
+``ktau.firing_cache_misses``, ``parallel.task_wall_s``), so snapshots
+group naturally when sorted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time level (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Count/sum/min/max summary of observed values.
+
+    A full bucketed histogram would be overkill for run-level timings
+    (tens of observations per run); the summary keeps the snapshot small
+    and byte-stable.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """A flat, name-indexed table of metrics.
+
+    ``counter``/``gauge``/``histogram`` create on first use, so
+    instrumented modules never declare anything up front; a name used as
+    two different kinds is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+        elif type(metric) is not kind:
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}, "
+                            f"not a {kind.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict:
+        """JSON-able view: ``{"counters": ..., "gauges": ..., "histograms": ...}``.
+
+        Keys are sorted by the caller's serialiser (``sort_keys=True``);
+        values are plain ints/floats so the snapshot embeds directly in
+        manifests and bench artifacts.
+        """
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "min": metric.min if metric.min is not None else 0.0,
+                    "max": metric.max if metric.max is not None else 0.0,
+                    "mean": metric.mean,
+                }
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+
+#: The process-global registry every flush point publishes into.
+REGISTRY = MetricsRegistry()
+
+
+def snapshot() -> dict:
+    """Snapshot of the global registry."""
+    return REGISTRY.snapshot()

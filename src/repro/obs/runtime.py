@@ -1,0 +1,101 @@
+"""Global observability state and the sanctioned wall-clock.
+
+The harness-level observability subsystem (:mod:`repro.obs`) watches the
+*host* side of the reproduction — the discrete-event engine, the KTAU
+measurement layer, the replication runner — with the same philosophy the
+paper applies to the kernel: cheap always-on counters, opt-in tracing,
+and dynamic enable/disable with near-zero cost when off.
+
+Two invariants make it safe to wire into the measured substrate:
+
+1. **Zero feedback.** Nothing here ever touches simulated state.  Wall
+   time is observed, never charged back; metric and trace content cannot
+   alter event order, RNG draws, or profile counters, so every
+   determinism guarantee (serial/parallel bit-identity included) holds
+   with observability on or off.
+2. **Zero-overhead-off fast path.** Hot modules gate on the module-level
+   booleans below (one attribute read + branch, checked per *run* or per
+   *flush point*, never per event), mirroring the
+   :class:`~repro.core.overhead.ZeroOverheadModel` short-circuit inside
+   the simulation.
+
+This module also owns the repository's **only** sanctioned wall-clock
+reads.  The ktaulint determinism rules (KTAU201) ban wall time across
+the deterministic layers — including this package — precisely so that
+every real-time observation is funnelled through the two suppressed
+lines below, where a reviewer can see it cannot leak into simulation.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from datetime import datetime, timezone
+
+#: Metrics collection on/off.  Hot layers read this module attribute
+#: directly; keep it a plain bool.
+metrics_on: bool = False
+
+#: Span tracing on/off (separate switch: tracing records one entry per
+#: span, metrics only bump counters).
+tracing_on: bool = False
+
+#: Live progress reporting for sweeps (resolved at enable time).
+progress_on: bool = False
+
+
+def wall_clock() -> float:
+    """Monotonic wall-clock seconds — the sanctioned real-time read."""
+    return time.perf_counter()  # ktaulint: disable=KTAU201
+
+
+def wall_time_iso() -> str:
+    """Current UTC time as ISO-8601 (manifest stamps only)."""
+    return datetime.now(timezone.utc).isoformat()  # ktaulint: disable=KTAU201
+
+
+def enabled() -> bool:
+    """True when any observability facility is on."""
+    return metrics_on or tracing_on
+
+
+def enable(metrics: bool = True, tracing: bool = False,
+           progress: bool | None = None) -> None:
+    """Switch observability on.
+
+    ``progress=None`` resolves to "stderr is a terminal": interactive
+    runs get a live sweep progress line, CI logs do not.  Tracing starts
+    from a fresh tracer so span timestamps share one epoch per run.
+    """
+    global metrics_on, tracing_on, progress_on
+    metrics_on = bool(metrics)
+    tracing_on = bool(tracing)
+    if progress is None:
+        progress = metrics_on and sys.stderr.isatty()
+    progress_on = bool(progress)
+    if tracing_on:
+        from repro.obs import tracer
+        tracer.reset()
+
+
+def disable(reset: bool = True) -> None:
+    """Switch everything off; ``reset`` also clears collected data."""
+    global metrics_on, tracing_on, progress_on
+    metrics_on = False
+    tracing_on = False
+    progress_on = False
+    if reset:
+        from repro.obs import metrics, tracer
+        metrics.REGISTRY.reset()
+        tracer.reset()
+
+
+def progress(label: str, done: int, total: int) -> None:
+    """One line of live sweep progress (no-op unless enabled)."""
+    if not progress_on:
+        return
+    stream = sys.stderr
+    stream.write(f"\r[repro] {label}: {done}/{total}")
+    if done >= total:
+        stream.write("\n")
+    stream.flush()

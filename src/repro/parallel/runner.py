@@ -36,6 +36,8 @@ try:  # cloudpickle serialises closures/lambdas; pickle handles the rest
 except ImportError:  # pragma: no cover - cloudpickle ships in the image
     _pickler = pickle
 
+from repro.obs import runtime as _obs
+
 T = TypeVar("T")
 R = TypeVar("R")
 
@@ -85,39 +87,91 @@ def _start_method() -> str:
 
 def _run_payload(payload: bytes) -> bytes:
     """Worker entry point: decode one (fn, item) cell, run it, encode
-    the result.  Must stay module-level so the pool can import it."""
+    the result plus its wall time (observability rides the payload so
+    the parent can attribute per-worker task cost).  Must stay
+    module-level so the pool can import it."""
     fn, item = _pickler.loads(payload)
-    return _pickler.dumps(fn(item))
+    t0 = _obs.wall_clock()
+    result = fn(item)
+    return _pickler.dumps((result, _obs.wall_clock() - t0))
+
+
+def _observe_task(task_s: float, wait_s: Optional[float] = None) -> None:
+    """Publish one replication's timing into the metrics registry."""
+    from repro.obs.metrics import REGISTRY
+    REGISTRY.counter("parallel.tasks").inc()
+    REGISTRY.histogram("parallel.task_wall_s").observe(task_s)
+    if wait_s is not None:
+        REGISTRY.histogram("parallel.queue_wait_s").observe(max(0.0, wait_s))
 
 
 def parallel_map(fn: Callable[[T], R], items: Iterable[T], *,
                  workers: Optional[int] = None,
-                 keys: Optional[Sequence[Any]] = None) -> list[R]:
+                 keys: Optional[Sequence[Any]] = None,
+                 label: str = "sweep") -> list[R]:
     """``[fn(x) for x in items]``, optionally sharded across processes.
 
     Results are returned in item order regardless of completion order.
     ``keys`` (same length as ``items``) only labels failures: a worker
     exception is re-raised as :class:`ReplicationError` naming the cell.
+    ``label`` names the sweep in progress lines and trace spans when
+    observability (:mod:`repro.obs`) is enabled; it never affects
+    results.
     """
     items = list(items)
     n = len(items)
     nworkers = resolve_workers(workers, n)
     if nworkers <= 1 or n <= 1:
-        return [fn(item) for item in items]
-    payloads = [_pickler.dumps((fn, item)) for item in items]
-    results: list[Any] = [None] * n
-    context = multiprocessing.get_context(_start_method())
-    with ProcessPoolExecutor(max_workers=nworkers,
-                             mp_context=context) as pool:
-        futures = {pool.submit(_run_payload, payload): index
-                   for index, payload in enumerate(payloads)}
-        for future in as_completed(futures):
-            index = futures[future]
-            try:
-                results[index] = _pickler.loads(future.result())
-            except Exception as exc:
+        if not _obs.enabled():
+            return [fn(item) for item in items]
+        # Observed serial path: span + timing per replication, same
+        # results as the bare comprehension above.
+        from repro import obs
+        results: list[Any] = []
+        with obs.span(f"parallel_map:{label}", "parallel", n=n, workers=1):
+            for index, item in enumerate(items):
                 key = keys[index] if keys is not None else index
-                raise ReplicationError(key, exc) from exc
+                t0 = _obs.wall_clock()
+                with obs.span(f"task:{key}", "parallel"):
+                    results.append(fn(item))
+                if _obs.metrics_on:
+                    _observe_task(_obs.wall_clock() - t0)
+                _obs.progress(label, index + 1, n)
+        return results
+    observed = _obs.enabled()
+    payloads = [_pickler.dumps((fn, item)) for item in items]
+    results = [None] * n
+    context = multiprocessing.get_context(_start_method())
+    from repro import obs
+    with obs.span(f"parallel_map:{label}", "parallel", n=n,
+                  workers=nworkers):
+        with ProcessPoolExecutor(max_workers=nworkers,
+                                 mp_context=context) as pool:
+            submitted_at: dict[int, float] = {}
+            futures = {}
+            for index, payload in enumerate(payloads):
+                futures[pool.submit(_run_payload, payload)] = index
+                if observed:
+                    submitted_at[index] = _obs.wall_clock()
+            done = 0
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    results[index], task_s = _pickler.loads(future.result())
+                except Exception as exc:
+                    key = keys[index] if keys is not None else index
+                    raise ReplicationError(key, exc) from exc
+                done += 1
+                if observed:
+                    key = keys[index] if keys is not None else index
+                    wait_s = (_obs.wall_clock() - submitted_at[index]) - task_s
+                    if _obs.metrics_on:
+                        _observe_task(task_s, wait_s)
+                        from repro.obs.metrics import REGISTRY
+                        REGISTRY.gauge("parallel.workers").set(nworkers)
+                    obs.instant(f"task_done:{key}", "parallel",
+                                task_s=task_s)
+                    _obs.progress(label, done, n)
     return results
 
 
@@ -128,7 +182,8 @@ def _call_thunk(thunk: Callable[[], R]) -> R:
 
 def run_replications(cells: Mapping[Any, Callable[[], R]] |
                      Sequence[tuple[Any, Callable[[], R]]], *,
-                     workers: Optional[int] = None) -> dict[Any, R]:
+                     workers: Optional[int] = None,
+                     label: str = "replications") -> dict[Any, R]:
     """Run keyed zero-argument replications; returns ``{key: result}``.
 
     The returned dict preserves the input key order (not completion
@@ -137,5 +192,6 @@ def run_replications(cells: Mapping[Any, Callable[[], R]] |
     pairs = list(cells.items()) if isinstance(cells, Mapping) else list(cells)
     keys = [key for key, _ in pairs]
     thunks = [thunk for _, thunk in pairs]
-    results = parallel_map(_call_thunk, thunks, workers=workers, keys=keys)
+    results = parallel_map(_call_thunk, thunks, workers=workers, keys=keys,
+                           label=label)
     return dict(zip(keys, results))

@@ -27,6 +27,11 @@ Hot-path design (the engine is the substrate every experiment pays for):
   the heap is compacted when cancelled entries exceed half of it, so a
   long-lived simulation no longer accumulates dead handles until they
   happen to reach the top.
+* Observability (:mod:`repro.obs`) costs nothing per event: the engine
+  keeps plain-integer counters on paths that already do bookkeeping
+  (handle construction, cancellation, compaction) and publishes deltas
+  to the metrics registry once per :meth:`Engine.run` — and only when
+  collection is enabled.  The dispatch loop itself is untouched.
 """
 
 from __future__ import annotations
@@ -34,6 +39,8 @@ from __future__ import annotations
 import heapq
 from sys import getrefcount
 from typing import Callable, Optional
+
+from repro.obs import runtime as _obs
 
 #: Upper bound on the handle free list; beyond this, dead handles are
 #: simply released to the allocator.
@@ -104,6 +111,16 @@ class Engine:
         self._active: int = 0  # non-cancelled events in the heap
         self._cancelled_in_queue: int = 0
         self._free: list[EventHandle] = []  # handle free list
+        # Always-on observability counters (plain increments on paths
+        # that already pay an allocation or a heap rebuild).  Pool hits
+        # are derived: every schedule either reuses a pooled handle or
+        # constructs one, so hits = _seq - _pool_misses.
+        self._pool_misses: int = 0
+        self._cancels: int = 0
+        self._compactions: int = 0
+        #: last-published cumulative counters, for metrics deltas:
+        #: [seq, fired, cancels, pool_misses, compactions]
+        self._obs_base: list[int] = [0, 0, 0, 0, 0]
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -128,6 +145,7 @@ class Engine:
         else:
             handle = EventHandle(time, seq, fn, label)
             handle.engine = self
+            self._pool_misses += 1
         handle.in_queue = True
         self._active += 1
         heapq.heappush(self._queue, (time, seq, handle))
@@ -177,6 +195,28 @@ class Engine:
         (even if the queue drained earlier), so callers can treat it as
         "simulate this much virtual time".
         """
+        if not (_obs.metrics_on or _obs.tracing_on):
+            self._run_loop(until, max_events)
+            return
+        # Observed run: wall-time the loop and publish counter deltas
+        # once at the end.  Per-event cost is identical to the fast path.
+        t0 = _obs.wall_clock()
+        tracing = _obs.tracing_on
+        if tracing:
+            from repro.obs.tracer import TRACER
+            TRACER.begin("engine.run", "engine")
+        fired_before = self._events_processed
+        try:
+            self._run_loop(until, max_events)
+        finally:
+            fired = self._events_processed - fired_before
+            if _obs.metrics_on:
+                self._publish_obs(_obs.wall_clock() - t0)
+            if tracing:
+                TRACER.end("engine.run", "engine", events=fired)
+
+    def _run_loop(self, until: Optional[int], max_events: Optional[int]) -> None:
+        """The dispatch loop proper (see :meth:`run`)."""
         self._stopped = False
         # The hot loop: everything bound to locals, one heap pop per
         # event, no helper-method calls.  ``self._queue`` keeps its
@@ -248,6 +288,7 @@ class Engine:
         """Account for an in-queue cancellation; compact when dead
         entries dominate the heap."""
         self._active -= 1
+        self._cancels += 1
         cancelled = self._cancelled_in_queue + 1
         self._cancelled_in_queue = cancelled
         if cancelled > _COMPACT_MIN and cancelled * 2 > len(self._queue):
@@ -259,6 +300,7 @@ class Engine:
         In place matters: :meth:`run` holds a local binding to the queue
         list, so the list object must keep its identity.
         """
+        self._compactions += 1
         queue = self._queue
         live: list[tuple[int, int, EventHandle]] = []
         free = self._free
@@ -274,6 +316,33 @@ class Engine:
         queue[:] = live
         heapq.heapify(queue)
         self._cancelled_in_queue = 0
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _publish_obs(self, wall_s: float) -> None:
+        """Push counter deltas since the last publish into the metrics
+        registry (one call per observed :meth:`run`)."""
+        from repro.obs.metrics import REGISTRY
+        base = self._obs_base
+        scheduled = self._seq
+        fired = self._events_processed
+        cancels = self._cancels
+        misses = self._pool_misses
+        compactions = self._compactions
+        REGISTRY.counter("engine.runs").inc()
+        REGISTRY.counter("engine.events_scheduled").inc(scheduled - base[0])
+        REGISTRY.counter("engine.events_fired").inc(fired - base[1])
+        REGISTRY.counter("engine.events_cancelled").inc(cancels - base[2])
+        REGISTRY.counter("engine.pool_misses").inc(misses - base[3])
+        REGISTRY.counter("engine.pool_hits").inc(
+            (scheduled - misses) - (base[0] - base[3]))
+        REGISTRY.counter("engine.heap_compactions").inc(
+            compactions - base[4])
+        self._obs_base = [scheduled, fired, cancels, misses, compactions]
+        REGISTRY.gauge("engine.pending_events").set(self._active)
+        REGISTRY.gauge("engine.pool_free").set(len(self._free))
+        REGISTRY.histogram("engine.run_wall_s").observe(wall_s)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -295,3 +364,13 @@ class Engine:
     def events_processed(self) -> int:
         """Total events executed since construction (diagnostics)."""
         return self._events_processed
+
+    @property
+    def events_cancelled(self) -> int:
+        """Total in-queue cancellations since construction (diagnostics)."""
+        return self._cancels
+
+    @property
+    def heap_compactions(self) -> int:
+        """Times the heap was compacted in place (diagnostics)."""
+        return self._compactions

@@ -32,6 +32,8 @@ PUBLIC_MODULES = [
     "repro.oprofile", "repro.oprofile.sampler", "repro.oprofile.compare",
     "repro.oprofile.harness",
     "repro.parallel", "repro.parallel.runner", "repro.parallel.merge",
+    "repro.obs", "repro.obs.runtime", "repro.obs.metrics", "repro.obs.tracer",
+    "repro.obs.manifest",
     "repro.analysis", "repro.analysis.profiles", "repro.analysis.views",
     "repro.analysis.stats", "repro.analysis.cdf", "repro.analysis.histogram",
     "repro.analysis.tracemerge", "repro.analysis.tracestats",
