@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-json check bench bench-smoke obs-demo
+.PHONY: test lint lint-json check bench bench-smoke obs-demo monitor-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,10 +15,15 @@ lint-json:
 check: lint test
 
 bench:
-	$(PYTHON) benchmarks/bench.py --out BENCH_pr4.json
+	$(PYTHON) benchmarks/bench.py --out BENCH_pr5.json
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench.py --smoke --out bench_smoke.json
 
 obs-demo:
 	$(PYTHON) -m repro obs --trace-out obs_demo.trace.json
+
+monitor-demo:
+	$(PYTHON) -m repro monitor --experiment fig2 \
+		--timeline-out monitor_fig2.trace.json \
+		--alerts-out monitor_fig2.alerts.json

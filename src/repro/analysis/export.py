@@ -25,6 +25,17 @@ from repro.core.wire import TaskProfileDump
 from repro.tau.profiler import TauProfileDump
 
 
+def canonical_json(doc: dict) -> str:
+    """Serialise a document to canonical, byte-stable JSON.
+
+    Sorted keys, fixed separators, no whitespace: two equal documents
+    serialise to the same bytes, which is what every serial-vs-parallel
+    equivalence test in this repo compares.  Callers must pre-flatten
+    tuple keys (JSON objects only take strings).
+    """
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
 def to_chrome_trace(events_by_process: dict[str, tuple[list[MergedEvent], float]],
                     *, pid: int = 1) -> str:
     """Serialise merged timelines to a Chrome trace-event JSON string.
@@ -144,7 +155,7 @@ def profiles_to_json(data: JobData) -> str:
             for node, comms in data.node_comms.items()
         },
     }
-    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return canonical_json(doc)
 
 
 def ktaud_snapshots_to_json(snapshots: Iterable) -> str:
@@ -169,7 +180,7 @@ def ktaud_snapshots_to_json(snapshots: Iterable) -> str:
             } for pid, trace in snap.traces.items()},
         } for snap in snapshots],
     }
-    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return canonical_json(doc)
 
 
 def validate_chrome_trace(payload: str) -> tuple[int, int]:

@@ -7,9 +7,14 @@
   daemons, kernel threads) contributed.
 * :func:`group_breakdown` — activity of one process rolled up by
   instrumentation group.
+* :func:`interval_view` — the delta between two consecutive KTAUD
+  snapshots, turning lifetime totals into per-interval rates (what an
+  *online* monitor renders, instead of bars that only ever grow).
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from repro.core.wire import TaskProfileDump
 
@@ -59,6 +64,40 @@ def node_process_view(profiles: dict[int, TaskProfileDump], hz: float,
             total += excl
         comm = dump.comm or (comms or {}).get(pid, "?")
         out[pid] = (comm, total / hz)
+    return out
+
+
+def interval_view(prev: Optional[dict[int, TaskProfileDump]],
+                  curr: dict[int, TaskProfileDump]
+                  ) -> dict[int, dict[str, tuple[int, int, int]]]:
+    """Per-pid, per-event ``(count, incl, excl)`` deltas between snapshots.
+
+    ``prev`` and ``curr`` are two consecutive per-node profile extractions
+    (:attr:`repro.core.clients.ktaud.KtaudSnapshot.profiles`); the result
+    is what happened *during* the interval.  ``prev=None`` (the first
+    snapshot) yields the full lifetime totals.
+
+    Tolerates counter resets from pid churn: a pid absent from ``prev``,
+    or whose per-event count went *backwards* (the pid exited and was
+    reused by a new process), contributes its current totals rather than
+    a negative delta.  Pids present only in ``prev`` (exited, snapshot
+    taken without zombies) simply drop out.  Zero deltas are omitted, so
+    an idle interval is an empty dict.
+    """
+    out: dict[int, dict[str, tuple[int, int, int]]] = {}
+    for pid, dump in curr.items():
+        before = prev.get(pid) if prev is not None else None
+        deltas: dict[str, tuple[int, int, int]] = {}
+        for name, (count, incl, excl) in dump.perf.items():
+            b = before.perf.get(name, (0, 0, 0)) if before is not None \
+                else (0, 0, 0)
+            if count < b[0]:  # counter reset: exited pid, id reused
+                b = (0, 0, 0)
+            delta = (count - b[0], incl - b[1], excl - b[2])
+            if any(delta):
+                deltas[name] = delta
+        if deltas:
+            out[pid] = deltas
     return out
 
 

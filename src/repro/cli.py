@@ -279,6 +279,97 @@ def _cmd_ktaud(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """Online cluster monitor: run a monitored experiment, render the
+    terminal dashboard, and optionally write the integrated user/kernel
+    timeline and the alert log."""
+    from repro.analysis.export import canonical_json
+    from repro.monitor import (MonitorConfig, alerts_to_doc,
+                               render_dashboard)
+    from repro.obs.tracer import validate_trace_events
+    from repro.sim.units import MSEC
+
+    config = MonitorConfig(period_ns=args.period_ms * MSEC)
+    timeline = None
+
+    if args.experiment == "fig2":
+        log.info("running the monitored Figure 2-A/B experiment ...")
+        from repro.experiments import fig2_controlled as f2
+        result = f2.run_fig2ab(seed=args.seed, monitor_config=config)
+        data = result.monitor
+        timeline = result.timeline
+        assert data is not None
+        print(render_dashboard(data))
+        flagged = data.alert_nodes()
+        print(f"\nperturbed node (ground truth): {result.perturbed_node}")
+        print("nodes flagged by the monitor:  "
+              + (", ".join(flagged) if flagged else "none"))
+    elif args.experiment == "noise":
+        log.info("running one monitored noise point (clean + noisy) ...")
+        from repro.experiments import noise
+        point = noise.run_noise_point(args.nodes, seed=args.seed,
+                                      monitor_config=config,
+                                      workers=args.workers)
+        data = point.monitor_noisy
+        assert data is not None
+        print(render_dashboard(data))
+        print()
+        print(noise.render([point]))
+    elif args.experiment == "chiba":
+        log.info("running one monitored chiba configuration ...")
+        from repro.experiments.common import (ChibaConfig, bench_lu_params,
+                                              run_monitored_chiba_app)
+        chiba_config = ChibaConfig(label="monitored", nranks=16,
+                                   procs_per_node=2, seed=args.seed)
+        _data, data, timeline = run_monitored_chiba_app(
+            chiba_config, "lu", bench_lu_params(0.25), config)
+        print(render_dashboard(data))
+    else:  # demo: a small cluster with one planted cycle stealer
+        from repro.cluster.daemons import start_busy_daemon
+        from repro.cluster.launch import block_placement, launch_mpi_job
+        from repro.cluster.machines import make_chiba
+        from repro.monitor import ClusterMonitor, integrated_timeline
+        from repro.workloads.lu import LuParams, lu_app
+
+        cluster = make_chiba(nnodes=4, seed=args.seed)
+        start_busy_daemon(cluster.nodes[2], pin_cpu=0,
+                          period_ns=80 * MSEC, busy_ns=30 * MSEC)
+        monitor = ClusterMonitor(cluster, config)
+        params = LuParams(niters=6, iter_compute_ns=60 * MSEC,
+                          halo_bytes=16_384, sweep_msg_bytes=2_048,
+                          inorm=2, pipeline_fill_frac=0.03)
+        # Ranks pinned to their slot CPU, so the planted cycle stealer
+        # on ccn002's CPU0 genuinely contends with that node's rank.
+        job = launch_mpi_job(cluster, 4, lu_app(params),
+                             placement=block_placement(1, 4),
+                             pin=True, comm_prefix="lu",
+                             node_setup=monitor.attach_node)
+        job.run(limit_s=600)
+        data = monitor.harvest()
+        timeline = integrated_timeline(data, job)
+        cluster.teardown()
+        print(render_dashboard(data))
+
+    if args.timeline_out:
+        if timeline is None:
+            log.warning("this experiment produced no timeline")
+        else:
+            spans, instants = validate_trace_events(timeline)
+            with open(args.timeline_out, "w", encoding="utf-8") as fh:
+                fh.write(timeline)
+            log.info("wrote integrated timeline (%d spans, %d instants) "
+                     "to %s", spans, instants, args.timeline_out)
+    if args.alerts_out:
+        payload = canonical_json({"experiment": args.experiment,
+                                  "seed": args.seed,
+                                  "period_ns": config.period_ns,
+                                  "alerts": alerts_to_doc(data.alerts)})
+        with open(args.alerts_out, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        log.info("wrote %d alerts to %s", len(data.alerts), args.alerts_out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests/completion)."""
     from repro import __version__
@@ -376,6 +467,28 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--iterations", type=int, default=10)
     obs.add_argument("--seed", type=int, default=42)
     obs.set_defaults(func=_cmd_obs)
+
+    monitor = add_parser("monitor",
+                         help="online cluster monitor: streaming KTAUD "
+                              "aggregation with perturbation detection")
+    monitor.add_argument("--experiment",
+                         choices=("fig2", "noise", "chiba", "demo"),
+                         default="fig2",
+                         help="which monitored run to perform "
+                              "(default: the Figure 2-A interference run)")
+    monitor.add_argument("--period-ms", type=int, default=100,
+                         help="KTAUD extraction period (milliseconds)")
+    monitor.add_argument("--nodes", type=int, default=8,
+                         help="node count for the noise experiment")
+    monitor.add_argument("--seed", type=int, default=1)
+    monitor.add_argument("--workers", "-j", type=int, default=None,
+                         help=workers_help)
+    monitor.add_argument("--timeline-out", metavar="FILE", default=None,
+                         help="write the integrated user/kernel Chrome "
+                              "trace-event timeline here")
+    monitor.add_argument("--alerts-out", metavar="FILE", default=None,
+                         help="write the canonical alert log (JSON) here")
+    monitor.set_defaults(func=_cmd_monitor)
 
     ktaud = add_parser("ktaud", help="run a workload under KTAUD and dump "
                                      "its periodic snapshots as JSON")

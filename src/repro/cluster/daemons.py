@@ -27,6 +27,12 @@ STANDARD_DAEMONS: tuple[tuple[str, int, int], ...] = (
     ("crond", 10 * SEC, 500 * USEC),
 )
 
+#: Comms of the standard set.  Their sub-millisecond bursts sit far
+#: below the cluster monitor's interference floor — the monitor flags
+#: intruders, not housekeeping (the Figure 7 distinction).
+STANDARD_DAEMON_COMMS: tuple[str, ...] = tuple(
+    comm for comm, _period, _work in STANDARD_DAEMONS)
+
 
 def _daemon_behavior(period_ns: int, work_ns: int, phase_ns: int):
     """A periodic daemon: sleep, then a short burst of work, forever."""

@@ -14,6 +14,7 @@ from typing import Callable, Generator, Optional
 from repro.cluster.daemons import start_standard_daemons
 from repro.cluster.machines import Cluster
 from repro.cluster.mpi import MpiRank, MpiWorld
+from repro.cluster.node import Node
 from repro.kernel.task import Task
 from repro.kernel.usermode import UserContext
 from repro.sim.units import SEC
@@ -71,6 +72,7 @@ def launch_mpi_job(cluster: Cluster, nranks: int, app: AppFn, *,
                    tau_enabled: bool = True,
                    tau_tracing: bool = False,
                    start_daemons: bool = True,
+                   node_setup: Optional[Callable[[Node], None]] = None,
                    comm_prefix: str = "app") -> MpiJob:
     """Create the rank processes of an MPI job (run with :meth:`MpiJob.run`).
 
@@ -95,6 +97,14 @@ def launch_mpi_job(cluster: Cluster, nranks: int, app: AppFn, *,
             node = cluster.nodes[node_idx]
             if not node.daemons:
                 start_standard_daemons(node)
+
+    # Per-node hook, called once per node the job actually uses (in node
+    # order, after daemon start): lets higher layers — e.g. a cluster
+    # monitor attaching its KTAUD — instrument exactly the nodes of this
+    # job without this module depending on them.
+    if node_setup is not None:
+        for node_idx in sorted(nodes_used):
+            node_setup(cluster.nodes[node_idx])
 
     for rank in range(nranks):
         node_idx, slot = placement(rank)

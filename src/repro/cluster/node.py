@@ -20,6 +20,9 @@ class Node:
         self.daemons: list["Task"] = []
         #: application (MPI) tasks placed on this node
         self.app_tasks: list["Task"] = []
+        #: streaming KTAUD attached by a cluster monitor (None when
+        #: this node is unmonitored); set by ClusterMonitor.attach_node
+        self.ktaud = None
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Node {self.name} cpus={self.kernel.params.online_cpus}>"

@@ -12,7 +12,7 @@ extracted, so that perturbation is real in the simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.libktau import LibKtau, Scope
 from repro.core.wire import TaskProfileDump, TraceDump
@@ -45,17 +45,36 @@ class Ktaud:
         Specific PIDs to monitor (``other`` mode), or ``None`` for all.
     drain_traces:
         Also drain trace buffers of the monitored PIDs each period.
+    on_snapshot:
+        Optional streaming hook, called with each :class:`KtaudSnapshot`
+        right after it is appended to :attr:`snapshots`.  This is how an
+        online consumer (:mod:`repro.monitor`) subscribes to the
+        extraction stream instead of post-processing the hoarded list.
+        The callback observes; it must not touch simulated state.
+    max_snapshots:
+        Retention cap on :attr:`snapshots` (oldest dropped first), so a
+        long monitored run with a streaming consumer does not grow
+        memory without bound.  ``None`` (the default) keeps everything —
+        the historical post-mortem behaviour, byte-identical.
     """
 
     #: CPU cost charged per KiB of extracted data (parse + copy).
     READ_COST_PER_KB_NS = 4 * USEC
 
     def __init__(self, kernel: "Kernel", period_ns: int = 500 * MSEC,
-                 pids: Optional[list[int]] = None, drain_traces: bool = False):
+                 pids: Optional[list[int]] = None, drain_traces: bool = False,
+                 on_snapshot: Optional[Callable[["KtaudSnapshot"], None]] = None,
+                 max_snapshots: Optional[int] = None):
+        if max_snapshots is not None and max_snapshots < 1:
+            raise ValueError("max_snapshots must be >= 1 (or None)")
         self.kernel = kernel
         self.period_ns = period_ns
         self.pids = pids
         self.drain_traces = drain_traces
+        self.on_snapshot = on_snapshot
+        self.max_snapshots = max_snapshots
+        #: snapshots dropped by the retention cap (never by default).
+        self.dropped = 0
         self.lib = LibKtau(kernel.ktau_proc)
         self.snapshots: list[KtaudSnapshot] = []
         self.task: Optional["Task"] = None
@@ -86,6 +105,12 @@ class Ktaud:
                         snapshot.traces[pid] = dump
                         volume += len(dump.records) * 21
             self.snapshots.append(snapshot)
+            if self.max_snapshots is not None \
+                    and len(self.snapshots) > self.max_snapshots:
+                del self.snapshots[0]
+                self.dropped += 1
+            if self.on_snapshot is not None:
+                self.on_snapshot(snapshot)
             # Extraction work is real CPU time on the monitored node.
             cost = max(20 * USEC, (volume * self.READ_COST_PER_KB_NS) // 1024)
             yield from ctx.compute(cost)

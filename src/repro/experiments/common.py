@@ -25,6 +25,8 @@ from repro.cluster.launch import block_placement, launch_mpi_job
 from repro.cluster.machines import make_chiba
 from repro.core.config import KtauBuildConfig
 from repro.core.points import Group
+from repro.monitor import (ClusterMonitor, MonitorConfig, MonitorData,
+                           integrated_timeline)
 from repro.sim.units import MSEC
 from repro.workloads.lu import LuParams, lu_app
 from repro.workloads.sweep3d import Sweep3dParams, sweep3d_app
@@ -99,11 +101,33 @@ def run_chiba_app(config: ChibaConfig, app_name: str, params,
     """
     with obs.span(f"chiba:{config.label}:{app_name}:seed{config.seed}",
                   "experiment", nranks=config.nranks):
-        return _run_chiba_app(config, app_name, params, limit_s)
+        data, _monitor, _timeline = _run_chiba_app(config, app_name, params,
+                                                   limit_s)
+        return data
+
+
+def run_monitored_chiba_app(config: ChibaConfig, app_name: str, params,
+                            monitor_config: MonitorConfig,
+                            limit_s: float = 3600.0
+                            ) -> tuple[JobData, MonitorData, str]:
+    """Run one configuration under the online cluster monitor.
+
+    Same run machinery as :func:`run_chiba_app`, plus one streaming
+    KTAUD per used node; returns the harvested job data, the monitor
+    harvest, and the integrated user/kernel timeline JSON.
+    """
+    with obs.span(f"chiba:{config.label}:{app_name}:seed{config.seed}:mon",
+                  "experiment", nranks=config.nranks):
+        data, monitor, timeline = _run_chiba_app(config, app_name, params,
+                                                 limit_s, monitor_config)
+        assert monitor is not None and timeline is not None
+        return data, monitor, timeline
 
 
 def _run_chiba_app(config: ChibaConfig, app_name: str, params,
-                   limit_s: float) -> JobData:
+                   limit_s: float,
+                   monitor_config: Optional[MonitorConfig] = None
+                   ) -> tuple[JobData, Optional[MonitorData], Optional[str]]:
     nnodes_used = config.nranks // config.procs_per_node
     anomaly_nodes = (ANOMALY_NODE,) if config.anomaly else ()
     if config.anomaly and config.procs_per_node == 1:
@@ -128,13 +152,22 @@ def _run_chiba_app(config: ChibaConfig, app_name: str, params,
     else:
         raise ValueError(f"unknown app {app_name!r}")
 
+    monitor = None
+    if monitor_config is not None:
+        monitor = ClusterMonitor(cluster, monitor_config)
     job = launch_mpi_job(
         cluster, config.nranks, app,
         placement=block_placement(config.procs_per_node, config.nranks),
         pin=config.pin, cpu_offset=config.cpu_offset,
         tau_enabled=config.tau_enabled,
-        tau_tracing=config.tau_tracing, comm_prefix=app_name)
+        tau_tracing=config.tau_tracing, comm_prefix=app_name,
+        node_setup=monitor.attach_node if monitor else None)
     job.run(limit_s=limit_s)
     data = harvest_job(job)
+    monitor_data = None
+    timeline = None
+    if monitor is not None:
+        monitor_data = monitor.harvest()
+        timeline = integrated_timeline(monitor_data, job)
     cluster.teardown()
-    return data
+    return data, monitor_data, timeline

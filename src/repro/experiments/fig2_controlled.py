@@ -19,6 +19,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.analysis.profiles import JobData, harvest_job
 from repro.analysis.tracemerge import MergedEvent, events_within, merge_traces
@@ -28,6 +29,8 @@ from repro.cluster.machines import make_chiba, make_neutron
 from repro.cluster.daemons import start_busy_daemon
 from repro.core.config import KtauBuildConfig
 from repro.core.libktau import LibKtau
+from repro.monitor import (ClusterMonitor, MonitorConfig, MonitorData,
+                           integrated_timeline)
 from repro.parallel import run_replications
 from repro.sim.units import MSEC, SEC
 from repro.tau.merge import MergedRow, merged_profile
@@ -57,10 +60,22 @@ class Fig2ABResult:
     invol_by_node: dict[str, float]
     #: pid -> (comm, kernel seconds) on the perturbed node (panel B)
     node_processes: dict[int, tuple[str, float]]
+    #: online-monitor harvest when the run was monitored (else None)
+    monitor: Optional[MonitorData] = None
+    #: integrated user/kernel Chrome-trace JSON for the monitored run
+    timeline: Optional[str] = None
 
 
-def run_fig2ab(seed: int = 1) -> Fig2ABResult:
-    """16-rank LU over 8 dual-CPU nodes, interference on node 7."""
+def run_fig2ab(seed: int = 1,
+               monitor_config: Optional[MonitorConfig] = None) -> Fig2ABResult:
+    """16-rank LU over 8 dual-CPU nodes, interference on node 7.
+
+    With ``monitor_config`` the run happens under an online
+    :class:`~repro.monitor.ClusterMonitor` (one KTAUD per node, attached
+    through the launcher's ``node_setup`` hook): the result then carries
+    the harvested monitor data — whose alerts should point at exactly
+    the perturbed node — and the integrated user/kernel timeline.
+    """
     cluster = make_chiba(nnodes=8, seed=seed)
     node = cluster.nodes[PERTURBED_NODE_INDEX]
     # The paper's anomaly: sleep, then a CPU-intensive busy loop, scaled
@@ -69,10 +84,19 @@ def run_fig2ab(seed: int = 1) -> Fig2ABResult:
         overhead_process(sleep_ns=600 * MSEC, busy_ns=200 * MSEC), "overhead")
     node.daemons.append(intruder)
 
+    monitor = None
+    if monitor_config is not None:
+        monitor = ClusterMonitor(cluster, monitor_config)
     job = launch_mpi_job(cluster, 16, lu_app(CONTROLLED_LU),
-                         placement=block_placement(2, 16), comm_prefix="lu")
+                         placement=block_placement(2, 16), comm_prefix="lu",
+                         node_setup=monitor.attach_node if monitor else None)
     job.run(limit_s=600)
     data = harvest_job(job)
+    monitor_data = None
+    timeline = None
+    if monitor is not None:
+        monitor_data = monitor.harvest()
+        timeline = integrated_timeline(monitor_data, job)
     cluster.teardown()
 
     hz = data.ranks[0].hz
@@ -90,7 +114,8 @@ def run_fig2ab(seed: int = 1) -> Fig2ABResult:
                         interference_pid=intruder.pid,
                         sched_by_node=sched_by_node,
                         invol_by_node=invol_by_node,
-                        node_processes=processes)
+                        node_processes=processes,
+                        monitor=monitor_data, timeline=timeline)
 
 
 # ---------------------------------------------------------------------------

@@ -20,12 +20,14 @@ else.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro import obs
 from repro.analysis.profiles import JobData, harvest_job
 from repro.cluster.daemons import start_busy_daemon
 from repro.cluster.launch import block_placement, launch_mpi_job
 from repro.cluster.machines import make_chiba
+from repro.monitor import ClusterMonitor, MonitorConfig, MonitorData
 from repro.parallel import parallel_map
 from repro.sim.units import MSEC
 
@@ -61,20 +63,26 @@ class NoiseResult:
     clean_s: float
     noisy_s: float
     data_noisy: JobData
+    #: online-monitor harvests when the point ran monitored (else None)
+    monitor_clean: Optional[MonitorData] = None
+    monitor_noisy: Optional[MonitorData] = None
 
     @property
     def slowdown_pct(self) -> float:
         return 100.0 * (self.noisy_s - self.clean_s) / self.clean_s
 
 
-def _run_noise_cell(cell: tuple[int, NoiseParams, int, bool]
-                    ) -> tuple[float, JobData]:
+def _run_noise_cell(cell: tuple) -> tuple[float, JobData, Optional[MonitorData]]:
     """One (scale, clean/noisy) simulation — a replication-runner cell.
 
     Module-level (not a closure) so plain pickle suffices when the cell
-    crosses a process boundary.
+    crosses a process boundary.  ``cell`` is ``(nranks, params, seed,
+    noisy)`` with an optional fifth :class:`MonitorConfig` element; with
+    it the run happens under a :class:`ClusterMonitor`, whose harvest is
+    the third element of the return.
     """
-    nranks, params, seed, noisy = cell
+    nranks, params, seed, noisy = cell[:4]
+    monitor_config = cell[4] if len(cell) > 4 else None
     cluster = make_chiba(nnodes=nranks, seed=seed)
     if noisy:
         for node in cluster.nodes:
@@ -82,27 +90,39 @@ def _run_noise_cell(cell: tuple[int, NoiseParams, int, bool]
                               period_ns=params.noise_period_ns,
                               busy_ns=params.noise_burst_ns,
                               comm="noised", random_phase=True)
+    monitor = None
+    if monitor_config is not None:
+        monitor = ClusterMonitor(cluster, monitor_config)
     job = launch_mpi_job(cluster, nranks, _noise_app(params),
                          placement=block_placement(1, nranks),
-                         start_daemons=False)
+                         start_daemons=False,
+                         node_setup=monitor.attach_node if monitor else None)
     job.run(limit_s=600)
     data = harvest_job(job)
+    monitor_data = monitor.harvest() if monitor is not None else None
     cluster.teardown()
-    return data.exec_time_s, data
+    return data.exec_time_s, data, monitor_data
 
 
 def run_noise_point(nranks: int, params: NoiseParams | None = None,
                     seed: int = 1,
+                    monitor_config: MonitorConfig | None = None,
                     workers: int | None = None) -> NoiseResult:
-    """One scale point: the synchronised quanta with and without noise."""
+    """One scale point: the synchronised quanta with and without noise.
+
+    With ``monitor_config`` both cells run under the online monitor; the
+    noisy cell's interference alerts then name the ``noised`` daemons.
+    """
     if params is None:
         params = NoiseParams()
-    cells = [(nranks, params, seed, False), (nranks, params, seed, True)]
-    (clean_s, _), (noisy_s, data) = parallel_map(
+    cells = [(nranks, params, seed, False, monitor_config),
+             (nranks, params, seed, True, monitor_config)]
+    (clean_s, _, mon_clean), (noisy_s, data, mon_noisy) = parallel_map(
         _run_noise_cell, cells, workers=workers,
         keys=["clean", "noisy"])
     return NoiseResult(nranks=nranks, clean_s=clean_s, noisy_s=noisy_s,
-                       data_noisy=data)
+                       data_noisy=data, monitor_clean=mon_clean,
+                       monitor_noisy=mon_noisy)
 
 
 def amplification_sweep(scales=(4, 16, 64), params: NoiseParams | None = None,
@@ -126,8 +146,8 @@ def amplification_sweep(scales=(4, 16, 64), params: NoiseParams | None = None,
                             label="noise")
     results = []
     for i, nranks in enumerate(scales):
-        clean_s, _ = flat[2 * i]
-        noisy_s, data = flat[2 * i + 1]
+        clean_s, _, _mon = flat[2 * i]
+        noisy_s, data, _mon = flat[2 * i + 1]
         results.append(NoiseResult(nranks=nranks, clean_s=clean_s,
                                    noisy_s=noisy_s, data_noisy=data))
     return results

@@ -43,8 +43,15 @@ LAYER_DEPS: dict[str, set[str]] = {
                  "workloads"},
     "analysis": {"cluster", "core", "kernel", "obs", "sim", "tau",
                  "workloads"},
-    "experiments": {"analysis", "cluster", "core", "kernel", "obs",
-                    "oprofile", "parallel", "sim", "tau", "workloads"},
+    # The online monitor consumes measurements (analysis/core) over
+    # cluster machinery and publishes into obs; experiments and the CLI
+    # sit above it, the cluster below it (the launcher reaches it only
+    # through the opaque node_setup hook).
+    "monitor": {"analysis", "cluster", "core", "kernel", "obs", "sim",
+                "tau"},
+    "experiments": {"analysis", "cluster", "core", "kernel", "monitor",
+                    "obs", "oprofile", "parallel", "sim", "tau",
+                    "workloads"},
     # The replication runner only moves opaque payloads between
     # processes; it must know nothing about what a replication computes
     # (obs is content-blind, so publishing timings keeps that true).

@@ -1,0 +1,69 @@
+"""repro.monitor — online cluster monitoring over the KTAUD stream.
+
+The paper's integrated-views thesis, made *online*: KTAUD continuously
+extracts kernel profiles on every node, and this subsystem subscribes to
+those extraction streams while the simulation runs — instead of hoarding
+snapshots and aggregating after the fact (:mod:`repro.analysis.views`),
+it watches the cluster live, the way an analyst watches Figure 2-A fill
+in and spots the one perturbed node.
+
+Five pieces:
+
+* :mod:`repro.monitor.intervals` — per-node **interval profiles**: the
+  delta between consecutive KTAUD snapshots (rates, not lifetime
+  totals), built on :func:`repro.analysis.views.interval_view`.
+* :mod:`repro.monitor.series` — bounded per-node/per-metric time series
+  with ring-buffer retention, so a monitored run's memory is O(window),
+  never O(run length).
+* :mod:`repro.monitor.detect` + :mod:`repro.monitor.alerts` — online
+  outlier detection: median-absolute-deviation across nodes per
+  interval flags the perturbed node of Figure 2-A; a per-node activity
+  floor flags interference processes (the "overhead" intruder, a noise
+  daemon) by name, and stays quiet for the minuscule standard daemons
+  of Figure 7.  Findings are typed :class:`~repro.monitor.alerts.Alert`
+  records.
+* :mod:`repro.monitor.cluster_monitor` — the
+  :class:`~repro.monitor.cluster_monitor.ClusterMonitor` that wires one
+  KTAUD per node (streaming callback, capped retention) to all of the
+  above, and harvests a plain, picklable
+  :class:`~repro.monitor.cluster_monitor.MonitorData`.
+* :mod:`repro.monitor.timeline` + :mod:`repro.monitor.dashboard` — an
+  **integrated timeline** exporter that merges the kernel interval
+  stream with each rank's TAU profile into one Chrome-trace artifact
+  (validated by the same checker as the harness tracer's output), and a
+  terminal dashboard with per-node sparklines and alert lines.
+
+Everything here consumes simulated measurements only — no wall clock,
+no ambient state — so monitored runs stay byte-identical between serial
+and parallel execution, which ``tests/test_determinism.py`` asserts.
+"""
+
+from __future__ import annotations
+
+from repro.monitor.alerts import (INTERFERENCE, NODE_OUTLIER, Alert,
+                                  alerts_to_doc)
+from repro.monitor.cluster_monitor import (ClusterMonitor, MonitorConfig,
+                                           MonitorData, monitor_data_to_json)
+from repro.monitor.dashboard import render_dashboard
+from repro.monitor.detect import flag_outliers, mad
+from repro.monitor.intervals import NodeInterval
+from repro.monitor.series import RingSeries, SeriesStore
+from repro.monitor.timeline import integrated_timeline
+
+__all__ = [
+    "Alert",
+    "ClusterMonitor",
+    "INTERFERENCE",
+    "MonitorConfig",
+    "MonitorData",
+    "NODE_OUTLIER",
+    "NodeInterval",
+    "RingSeries",
+    "SeriesStore",
+    "alerts_to_doc",
+    "flag_outliers",
+    "integrated_timeline",
+    "mad",
+    "monitor_data_to_json",
+    "render_dashboard",
+]

@@ -1,0 +1,88 @@
+"""Typed alerts emitted by the online detectors.
+
+Two kinds, matching the two questions the paper's views answer:
+
+* ``node_outlier`` (:data:`NODE_OUTLIER`) — one node's per-interval
+  value of a watched kernel event sits far outside the cluster's
+  median (Figure 2-A: "which node is perturbed?").
+* ``interference`` (:data:`INTERFERENCE`) — a non-application process
+  on one node did enough kernel-visible work in one interval to matter
+  (Figure 2-B / Figure 7: "which process is responsible — and is it a
+  real daemon or an intruder?").
+
+Alerts are frozen dataclasses with a canonical JSON form so monitored
+runs can be byte-compared across serial and parallel execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.sim.units import SEC
+
+#: A node whose watched-event value is a cross-node MAD outlier.
+NODE_OUTLIER = "node_outlier"
+
+#: A non-application process with significant interval activity.
+INTERFERENCE = "interference"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One detector finding, anchored to a node and an interval."""
+
+    kind: str
+    #: interval ordinal (aligned across nodes by extraction count)
+    interval: int
+    #: virtual time of the closing snapshot
+    time_ns: int
+    node: str
+    #: watched event name, or ``"activity"`` for interference alerts
+    metric: str
+    #: the offending value, in seconds over the interval
+    value_s: float
+    #: cross-node median (outliers) or interval length (interference)
+    baseline_s: float
+    #: modified z-score (outliers) or activity fraction (interference)
+    score: float
+    pid: Optional[int] = None
+    comm: Optional[str] = None
+
+    def describe(self) -> str:
+        """One human-readable line for dashboards and logs."""
+        t = self.time_ns / SEC
+        if self.kind == INTERFERENCE:
+            return (f"[{t:9.3f}s] {self.node}: interference by "
+                    f"{self.comm}({self.pid}) — {self.value_s * 1e3:.1f} ms "
+                    f"kernel activity in one interval "
+                    f"({100 * self.score:.0f}% of it)")
+        return (f"[{t:9.3f}s] {self.node}: '{self.metric}' outlier — "
+                f"{self.value_s * 1e3:.1f} ms vs cluster median "
+                f"{self.baseline_s * 1e3:.1f} ms (score {self.score:.1f})")
+
+    def to_doc(self) -> dict:
+        """JSON-able dict (stable field set, no ambient data)."""
+        return {
+            "kind": self.kind,
+            "interval": self.interval,
+            "time_ns": self.time_ns,
+            "node": self.node,
+            "metric": self.metric,
+            "value_s": self.value_s,
+            "baseline_s": self.baseline_s,
+            "score": self.score,
+            "pid": self.pid,
+            "comm": self.comm,
+        }
+
+
+def sort_key(alert: Alert) -> tuple:
+    """Canonical ordering: time, node, kind, metric, pid."""
+    return (alert.interval, alert.time_ns, alert.node, alert.kind,
+            alert.metric, alert.pid if alert.pid is not None else -1)
+
+
+def alerts_to_doc(alerts: Iterable[Alert]) -> list[dict]:
+    """Canonically ordered JSON-able alert list."""
+    return [alert.to_doc() for alert in sorted(alerts, key=sort_key)]

@@ -1,0 +1,324 @@
+"""The cluster monitor: one KTAUD per node, detection per interval.
+
+:class:`ClusterMonitor` attaches a streaming KTAUD daemon to every node
+(:class:`~repro.core.clients.ktaud.Ktaud` with an ``on_snapshot``
+callback and a small retention cap), turns each snapshot into a
+:class:`~repro.monitor.intervals.NodeInterval`, feeds bounded time
+series, and — whenever all nodes have reported interval *k* — runs the
+cross-node MAD detector plus the per-node interference check and
+appends typed alerts.
+
+The daemons are real simulated processes: their extraction reads cost
+CPU on the monitored nodes, so monitoring perturbs the application
+exactly the way §2 of the paper says a daemon-based model does.  The
+*analysis* side (callbacks, series, detection) is host-side Python over
+simulated measurements only, so a monitored run remains bit-reproducible
+— serial vs parallel equivalence is asserted in the determinism tests.
+
+:meth:`ClusterMonitor.harvest` returns :class:`MonitorData`, a plain
+picklable record (series, alerts, node clock metadata) that travels
+through :mod:`repro.parallel` workers and serialises canonically via
+:func:`monitor_data_to_json`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.analysis.export import canonical_json
+from repro.analysis.views import interval_view
+from repro.core.clients.ktaud import Ktaud, KtaudSnapshot
+from repro.core.points import SCHED_INVOLUNTARY_POINT
+from repro.monitor.alerts import (INTERFERENCE, NODE_OUTLIER, Alert,
+                                  alerts_to_doc, sort_key)
+from repro.monitor.detect import flag_outliers
+from repro.monitor.intervals import NodeInterval
+from repro.monitor.series import SeriesStore
+from repro.obs import runtime as _obs
+from repro.sim.units import MSEC
+
+import statistics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.machines import Cluster
+    from repro.cluster.node import Node
+
+#: Synthetic metric name for whole-node non-voluntary kernel activity.
+ACTIVITY_METRIC = "activity"
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Tuning for one monitored run.
+
+    Defaults are calibrated on the Figure 2-A reproduction: they flag
+    the interference-perturbed node and the intruder process while
+    staying silent on the standard daemon set and on LU's own
+    synchronisation behaviour.
+    """
+
+    #: KTAUD extraction period on every node.
+    period_ns: int = 200 * MSEC
+    #: kernel events watched by the cross-node outlier detector
+    #: (involuntary scheduling is the paper's perturbation signature).
+    watch_events: tuple[str, ...] = (SCHED_INVOLUNTARY_POINT,)
+    #: modified z-score threshold for node outliers.
+    mad_threshold: float = 3.5
+    #: absolute excess over the cluster median (seconds per interval)
+    #: a node must show before it can be flagged.  Calibrated above the
+    #: few-millisecond scheduling spikes LU's own synchronisation
+    #: produces on healthy nodes.
+    min_abs_s: float = 0.008
+    #: cross-node detection needs a population; below this it is off.
+    min_nodes: int = 4
+    #: per-interval kernel activity (seconds) a non-app process must
+    #: reach to be flagged as interference on its own...
+    interference_min_s: float = 0.010
+    #: ...and at least this fraction of the interval.
+    interference_frac: float = 0.05
+    #: when a node IS an outlier, its most active non-app process is
+    #: blamed (the paper's A-then-B workflow: a user-mode cycle stealer
+    #: shows up mostly as its *victims'* involuntary scheduling, so the
+    #: culprit's own kernel footprint only has to clear this small bar).
+    attribution_min_s: float = 0.0005
+    #: comm prefixes of application ranks (``launch_mpi_job`` comms are
+    #: ``"<prefix>.<rank>"``); these are never interference.
+    app_prefixes: tuple[str, ...] = ("lu.", "app.", "sweep3d.", "mg.", "ft.")
+    #: comms never flagged: the monitor's own daemons and the idle task.
+    ignore_comms: tuple[str, ...] = ("ktaud", "swapper")
+    #: ring-buffer capacity per (node, metric) series.
+    series_capacity: int = 1024
+    #: per-node KTAUD snapshot retention (the monitor differences
+    #: consecutive snapshots online, so two is enough; ``None`` hoards).
+    max_snapshots: Optional[int] = 2
+
+
+@dataclass
+class MonitorData:
+    """Harvested monitor state: plain data, canonical serialisation."""
+
+    period_ns: int
+    start_ns: int
+    end_ns: int
+    nodes: list[str]
+    node_hz: dict[str, float]
+    node_boot_offset: dict[str, int]
+    snapshots: int
+    intervals: int
+    dropped_snapshots: int
+    dropped_points: int
+    #: node -> metric -> retained (time_ns, value_s) points
+    series: dict[str, dict[str, list[tuple[int, float]]]] = field(default_factory=dict)
+    alerts: list[Alert] = field(default_factory=list)
+
+    def alert_nodes(self, kind: Optional[str] = None) -> list[str]:
+        """Sorted distinct nodes with alerts (optionally of one kind)."""
+        return sorted({a.node for a in self.alerts
+                       if kind is None or a.kind == kind})
+
+    def to_doc(self) -> dict:
+        """JSON-able document (tuple points flattened to lists)."""
+        return {
+            "period_ns": self.period_ns,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "nodes": list(self.nodes),
+            "node_hz": dict(self.node_hz),
+            "node_boot_offset": dict(self.node_boot_offset),
+            "snapshots": self.snapshots,
+            "intervals": self.intervals,
+            "dropped_snapshots": self.dropped_snapshots,
+            "dropped_points": self.dropped_points,
+            "series": {node: {metric: [[t, v] for t, v in points]
+                              for metric, points in metrics.items()}
+                       for node, metrics in self.series.items()},
+            "alerts": alerts_to_doc(self.alerts),
+        }
+
+
+def monitor_data_to_json(data: MonitorData) -> str:
+    """Canonical byte-stable JSON of a harvested monitored run."""
+    return canonical_json(data.to_doc())
+
+
+class ClusterMonitor:
+    """Online monitor over every (or a subset of) node(s) of a cluster.
+
+    Usage::
+
+        cluster = make_chiba(nnodes=8, seed=1)
+        monitor = ClusterMonitor(cluster)
+        monitor.attach()                      # before launching the job
+        job = launch_mpi_job(...); job.run()
+        data = monitor.harvest()              # plain MonitorData
+        print(render_dashboard(data))
+    """
+
+    def __init__(self, cluster: "Cluster", config: Optional[MonitorConfig] = None):
+        self.cluster = cluster
+        self.config = config or MonitorConfig()
+        self.series = SeriesStore(self.config.series_capacity)
+        self.alerts: list[Alert] = []
+        self.daemons: list[Ktaud] = []
+        self.node_names: list[str] = []
+        self.node_hz: dict[str, float] = {}
+        self.node_boot_offset: dict[str, int] = {}
+        self.snapshots_seen = 0
+        self.intervals_done = 0
+        self._start_ns: dict[str, int] = {}
+        self._prev: dict[str, KtaudSnapshot] = {}
+        self._next_index: dict[str, int] = {}
+        self._buckets: dict[int, dict[str, NodeInterval]] = {}
+
+    # -- attachment ------------------------------------------------------
+    def attach(self) -> None:
+        """Start a streaming KTAUD on every node of the cluster."""
+        for node in self.cluster.nodes:
+            self.attach_node(node)
+
+    def attach_node(self, node: "Node") -> None:
+        """Start a streaming KTAUD on one node and subscribe to it."""
+        name = node.name
+        if name in self.node_hz:
+            raise ValueError(f"node {name!r} is already monitored")
+
+        def on_snapshot(snap: KtaudSnapshot, _name: str = name) -> None:
+            self._on_snapshot(_name, snap)
+
+        daemon = Ktaud(node.kernel, period_ns=self.config.period_ns,
+                       on_snapshot=on_snapshot,
+                       max_snapshots=self.config.max_snapshots)
+        daemon.start()
+        node.ktaud = daemon
+        self.daemons.append(daemon)
+        self.node_names.append(name)
+        self.node_hz[name] = node.kernel.clock.hz
+        self.node_boot_offset[name] = node.kernel.clock.boot_offset_cycles
+        self._start_ns[name] = self.cluster.engine.now
+        self._next_index[name] = 0
+
+    def stop(self) -> None:
+        """Kill the monitor daemons (e.g. before reusing the cluster)."""
+        for daemon in self.daemons:
+            daemon.stop()
+
+    # -- the stream ------------------------------------------------------
+    def _on_snapshot(self, name: str, snap: KtaudSnapshot) -> None:
+        """One node reported: build its interval, maybe close a bucket."""
+        self.snapshots_seen += 1
+        prev = self._prev.get(name)
+        start_ns = prev.time_ns if prev is not None else self._start_ns[name]
+        deltas = interval_view(prev.profiles if prev is not None else None,
+                               snap.profiles)
+        comms = {pid: dump.comm for pid, dump in snap.profiles.items()}
+        index = self._next_index[name]
+        self._next_index[name] = index + 1
+        self._prev[name] = snap
+        interval = NodeInterval(node=name, index=index, start_ns=start_ns,
+                                end_ns=snap.time_ns,
+                                hz=self.node_hz[name],
+                                deltas=deltas, comms=comms)
+        for event in self.config.watch_events:
+            self.series.append(name, event, snap.time_ns,
+                               interval.event_excl_s(event))
+        self.series.append(name, ACTIVITY_METRIC, snap.time_ns,
+                           interval.activity_s())
+        if _obs.metrics_on:
+            from repro.obs.metrics import REGISTRY
+            REGISTRY.counter("monitor.snapshots").inc()
+        bucket = self._buckets.setdefault(index, {})
+        bucket[name] = interval
+        if len(bucket) == len(self.node_names):
+            del self._buckets[index]
+            self._detect(index, bucket)
+
+    # -- detection -------------------------------------------------------
+    def _is_app(self, comm: str) -> bool:
+        return any(comm.startswith(prefix)
+                   for prefix in self.config.app_prefixes)
+
+    def _detect(self, index: int, bucket: dict[str, NodeInterval]) -> None:
+        """All nodes reported interval ``index``: run the detectors."""
+        cfg = self.config
+        nalerts = 0
+        nodes = sorted(bucket)
+        outlier_nodes: set[str] = set()
+        if len(nodes) >= cfg.min_nodes:
+            for event in cfg.watch_events:
+                values = [bucket[node].event_excl_s(event) for node in nodes]
+                center = statistics.median(values)
+                for i, score in flag_outliers(values, cfg.mad_threshold,
+                                              cfg.min_abs_s):
+                    interval = bucket[nodes[i]]
+                    outlier_nodes.add(nodes[i])
+                    self.alerts.append(Alert(
+                        kind=NODE_OUTLIER, interval=index,
+                        time_ns=interval.end_ns, node=nodes[i], metric=event,
+                        value_s=values[i], baseline_s=center, score=score))
+                    nalerts += 1
+        for node in nodes:
+            interval = bucket[node]
+            activity = interval.activity_by_pid()
+            suspects: dict[int, float] = {}
+            for pid in sorted(activity):
+                comm = interval.comms.get(pid, "?")
+                if pid == 0 or comm in cfg.ignore_comms or self._is_app(comm):
+                    continue
+                suspects[pid] = activity[pid]
+            flagged: set[int] = set()
+            # Standalone check: a kernel-heavy intruder clears the
+            # activity floor on its own, outlier or not.
+            floor = max(cfg.interference_min_s,
+                        cfg.interference_frac * interval.wall_s)
+            for pid in sorted(suspects):
+                if suspects[pid] >= floor:
+                    flagged.add(pid)
+            # Attribution: on an outlier node, blame the most active
+            # non-app process (a user-mode cycle stealer's footprint is
+            # mostly its victims' involuntary scheduling, so the bar is
+            # much lower here).
+            if node in outlier_nodes and suspects:
+                top = max(sorted(suspects), key=lambda p: suspects[p])
+                if suspects[top] >= cfg.attribution_min_s:
+                    flagged.add(top)
+            for pid in sorted(flagged):
+                self.alerts.append(Alert(
+                    kind=INTERFERENCE, interval=index,
+                    time_ns=interval.end_ns, node=node,
+                    metric=ACTIVITY_METRIC, value_s=suspects[pid],
+                    baseline_s=interval.wall_s,
+                    score=suspects[pid] / interval.wall_s
+                    if interval.wall_s > 0 else 0.0,
+                    pid=pid, comm=interval.comms.get(pid, "?")))
+                nalerts += 1
+        self.intervals_done += 1
+        if _obs.metrics_on:
+            from repro.obs.metrics import REGISTRY
+            REGISTRY.counter("monitor.intervals").inc()
+            if nalerts:
+                REGISTRY.counter("monitor.alerts").inc(nalerts)
+
+    # -- harvest ---------------------------------------------------------
+    def harvest(self) -> MonitorData:
+        """Snapshot the monitor's state into plain, picklable data."""
+        series: dict[str, dict[str, list[tuple[int, float]]]] = {}
+        for node, metric in self.series.keys():
+            ring = self.series.get(node, metric)
+            assert ring is not None
+            series.setdefault(node, {})[metric] = ring.points()
+        end_ns = max((snap.time_ns for snap in self._prev.values()),
+                     default=min(self._start_ns.values(), default=0))
+        start_ns = min(self._start_ns.values(), default=0)
+        return MonitorData(
+            period_ns=self.config.period_ns,
+            start_ns=start_ns, end_ns=end_ns,
+            nodes=list(self.node_names),
+            node_hz=dict(self.node_hz),
+            node_boot_offset=dict(self.node_boot_offset),
+            snapshots=self.snapshots_seen,
+            intervals=self.intervals_done,
+            dropped_snapshots=sum(d.dropped for d in self.daemons),
+            dropped_points=self.series.total_dropped(),
+            series=series,
+            alerts=sorted(self.alerts, key=sort_key))

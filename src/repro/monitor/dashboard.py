@@ -1,0 +1,69 @@
+"""Terminal dashboard for a monitored run.
+
+One sparkline row per (node, metric) over the retained time series, the
+scale shared per metric across nodes so a perturbed node visibly sticks
+out, followed by the alert log — the closest a terminal gets to the
+paper's cluster-wide "health view" of Figure 2-A.
+"""
+
+from __future__ import annotations
+
+from repro.monitor.cluster_monitor import MonitorData
+from repro.sim.units import SEC
+
+#: Sparkline glyphs, lowest to highest.
+SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], vmax: float, width: int = 48) -> str:
+    """Render ``values`` as a fixed-width sparkline scaled to ``vmax``.
+
+    The most recent ``width`` values are shown; with ``vmax <= 0`` every
+    cell renders as the lowest glyph (an all-idle series stays flat).
+    """
+    shown = values[-width:]
+    cells = []
+    for value in shown:
+        if vmax <= 0:
+            level = 0
+        else:
+            level = min(len(SPARK_LEVELS) - 1,
+                        int(value / vmax * (len(SPARK_LEVELS) - 1) + 0.5))
+        cells.append(SPARK_LEVELS[max(0, level)])
+    return "".join(cells).ljust(width)
+
+
+def render_dashboard(data: MonitorData, width: int = 48) -> str:
+    """Render a harvested monitored run as a terminal dashboard string."""
+    lines: list[str] = []
+    span_s = (data.end_ns - data.start_ns) / SEC
+    lines.append(f"cluster monitor — {len(data.nodes)} nodes, "
+                 f"{data.intervals} intervals over {span_s:.1f}s "
+                 f"(period {data.period_ns / SEC * 1e3:.0f} ms)")
+    metrics = sorted({metric for per_node in data.series.values()
+                      for metric in per_node})
+    name_w = max((len(node) for node in data.nodes), default=4)
+    for metric in metrics:
+        peak = max((value for node in data.nodes
+                    for _t, value in data.series.get(node, {}).get(metric, [])),
+                   default=0.0)
+        lines.append("")
+        lines.append(f"{metric} (peak {peak * 1e3:.1f} ms/interval)")
+        for node in data.nodes:
+            values = [v for _t, v in data.series.get(node, {}).get(metric, [])]
+            flagged = any(a.node == node and a.metric == metric
+                          for a in data.alerts)
+            mark = "!" if flagged else " "
+            lines.append(f" {mark}{node:<{name_w}} "
+                         f"|{sparkline(values, peak, width)}|")
+    lines.append("")
+    if data.alerts:
+        lines.append(f"alerts ({len(data.alerts)}):")
+        for alert in data.alerts:
+            lines.append("  " + alert.describe())
+    else:
+        lines.append("alerts: none")
+    if data.dropped_snapshots or data.dropped_points:
+        lines.append(f"retention: {data.dropped_snapshots} snapshots, "
+                     f"{data.dropped_points} series points evicted")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Online outlier detection: median absolute deviation across nodes.
+
+Per interval, every node reports one number per watched event; the
+cluster's median is the "normal" and the MAD the robust spread.  A node
+is flagged when its *modified z-score* — ``0.6745 * (x - median) / MAD``
+(Iglewicz & Hoaglin) — exceeds a threshold **and** its absolute excess
+over the median clears a floor.  The floor matters in practice: a
+healthy synchronised cluster has near-zero involuntary scheduling
+everywhere, so MAD collapses to ~0 and any epsilon of jitter would
+otherwise score as infinite.
+
+Detection is one-sided (above the median): the perturbed node of
+Figure 2-A *gains* scheduling time; a node with unusually little kernel
+activity is not an interference signal.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Sequence
+
+#: Consistency constant making MAD comparable to a standard deviation
+#: under normality (Iglewicz & Hoaglin's modified z-score).
+MAD_Z = 0.6745
+
+#: Cap applied when MAD is ~0 and the score would be infinite; keeps
+#: alert documents JSON-clean and comparisons meaningful.
+SCORE_CAP = 1e6
+
+
+def mad(values: Sequence[float], center: float | None = None) -> float:
+    """Median absolute deviation around ``center`` (default: the median)."""
+    if not values:
+        return 0.0
+    if center is None:
+        center = statistics.median(values)
+    return statistics.median([abs(v - center) for v in values])
+
+
+def flag_outliers(values: Sequence[float], threshold: float = 3.5,
+                  min_abs: float = 0.0) -> list[tuple[int, float]]:
+    """Indices (and scores) of high outliers among ``values``.
+
+    An index ``i`` is flagged when ``values[i] - median > min_abs`` and
+    its modified z-score exceeds ``threshold``.  With a degenerate MAD
+    (identical values everywhere else), any value clearing the absolute
+    floor is an outlier and scores :data:`SCORE_CAP`.
+    """
+    if len(values) < 3:
+        return []
+    center = statistics.median(values)
+    spread = mad(values, center)
+    flagged: list[tuple[int, float]] = []
+    for i, value in enumerate(values):
+        excess = value - center
+        if excess <= min_abs:
+            continue
+        score = MAD_Z * excess / spread if spread > 0.0 else SCORE_CAP
+        if score >= threshold:
+            flagged.append((i, min(score, SCORE_CAP)))
+    return flagged

@@ -1,0 +1,69 @@
+"""Per-node interval profiles: what happened *between* two extractions.
+
+KTAUD snapshots carry lifetime totals; an online view needs rates.  A
+:class:`NodeInterval` is the delta between two consecutive snapshots of
+one node (via :func:`repro.analysis.views.interval_view`, which
+tolerates pid churn and counter resets), plus the accessors the
+detection and rendering layers share: per-event seconds across the node,
+and per-process activity in the :func:`~repro.analysis.views.node_process_view`
+sense (all exclusive kernel time except voluntary scheduling — so an
+idle daemon's chosen sleep never looks like load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.points import SCHED_VOLUNTARY_POINT
+from repro.sim.units import SEC
+
+
+@dataclass(frozen=True)
+class NodeInterval:
+    """One node's kernel activity during one extraction interval."""
+
+    node: str
+    #: interval ordinal on this node (0 = boot..first snapshot)
+    index: int
+    start_ns: int
+    end_ns: int
+    hz: float
+    #: pid -> event -> (count, incl, excl) deltas for the interval
+    deltas: dict[int, dict[str, tuple[int, int, int]]] = field(default_factory=dict)
+    #: pid -> comm as of the closing snapshot
+    comms: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def wall_s(self) -> float:
+        """Interval length in virtual seconds."""
+        return (self.end_ns - self.start_ns) / SEC
+
+    def event_excl_s(self, event: str) -> float:
+        """Exclusive seconds of one event, summed over every process."""
+        total = 0
+        for per_event in self.deltas.values():
+            delta = per_event.get(event)
+            if delta is not None:
+                total += delta[2]
+        return total / self.hz
+
+    def activity_by_pid(self) -> dict[int, float]:
+        """``pid -> exclusive kernel seconds`` this interval.
+
+        Voluntary scheduling is excluded, mirroring
+        :func:`repro.analysis.views.node_process_view`: preemption and
+        real kernel work count, chosen sleep does not.
+        """
+        out: dict[int, float] = {}
+        for pid, per_event in self.deltas.items():
+            total = 0
+            for name, (_count, _incl, excl) in per_event.items():
+                if name == SCHED_VOLUNTARY_POINT:
+                    continue
+                total += excl
+            out[pid] = total / self.hz
+        return out
+
+    def activity_s(self) -> float:
+        """Whole-node activity (sum of :meth:`activity_by_pid`)."""
+        return sum(self.activity_by_pid().values())

@@ -1,0 +1,80 @@
+"""Bounded time series with ring-buffer retention.
+
+A monitored run appends one point per node per metric per extraction
+period; an unbounded list would grow with run length, exactly the
+memory problem the :class:`~repro.core.clients.ktaud.Ktaud` retention
+cap solves for raw snapshots.  :class:`RingSeries` keeps the most
+recent ``capacity`` points (a :class:`collections.deque` ring), and
+:class:`SeriesStore` indexes them by ``(node, metric)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class RingSeries:
+    """The last ``capacity`` ``(time_ns, value)`` points of one metric."""
+
+    __slots__ = ("capacity", "dropped", "_points")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.dropped = 0
+        self._points: deque[tuple[int, float]] = deque(maxlen=capacity)
+
+    def append(self, time_ns: int, value: float) -> None:
+        """Add a point, evicting the oldest once the ring is full."""
+        if len(self._points) == self.capacity:
+            self.dropped += 1
+        self._points.append((time_ns, value))
+
+    def points(self) -> list[tuple[int, float]]:
+        """Retained points, oldest first."""
+        return list(self._points)
+
+    def values(self) -> list[float]:
+        """Retained values only, oldest first."""
+        return [value for _t, value in self._points]
+
+    def last(self) -> tuple[int, float] | None:
+        """Most recent point, or ``None`` when empty."""
+        return self._points[-1] if self._points else None
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+class SeriesStore:
+    """``(node, metric) -> RingSeries``, created on first append."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._series: dict[tuple[str, str], RingSeries] = {}
+
+    def append(self, node: str, metric: str, time_ns: int,
+               value: float) -> None:
+        """Append a point to one node's metric series."""
+        key = (node, metric)
+        series = self._series.get(key)
+        if series is None:
+            series = RingSeries(self.capacity)
+            self._series[key] = series
+        series.append(time_ns, value)
+
+    def get(self, node: str, metric: str) -> RingSeries | None:
+        """The series for ``(node, metric)``, if any points were appended."""
+        return self._series.get((node, metric))
+
+    def keys(self) -> list[tuple[str, str]]:
+        """All ``(node, metric)`` keys, sorted (deterministic export)."""
+        return sorted(self._series)
+
+    def total_dropped(self) -> int:
+        """Points evicted across every series."""
+        return sum(s.dropped for s in self._series.values())
+
+    def __len__(self) -> int:
+        return len(self._series)

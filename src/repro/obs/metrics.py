@@ -12,7 +12,9 @@ macros and ``/proc/ktau`` reads.
 
 Names are dotted, ``layer.thing`` (``engine.events_fired``,
 ``ktau.firing_cache_misses``, ``parallel.task_wall_s``), so snapshots
-group naturally when sorted.
+group naturally when sorted.  The online cluster monitor publishes
+``monitor.snapshots``, ``monitor.intervals``, and ``monitor.alerts``
+under the same guard.
 """
 
 from __future__ import annotations

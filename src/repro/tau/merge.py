@@ -61,6 +61,17 @@ def merged_profile(udump: TauProfileDump, kdump: TaskProfileDump) -> list[Merged
     return rows
 
 
+def rows_to_doc(rows: list[MergedRow], hz: float, top: int = 5) -> dict[str, float]:
+    """Compact JSON-able summary of the top merged rows.
+
+    ``"<layer>:<routine>" -> exclusive milliseconds``, largest first —
+    the annotation format the integrated timeline exporter attaches to a
+    rank's summary span when no event trace was recorded.
+    """
+    return {f"{row.layer}:{row.name}": round(row.excl_cycles / hz * 1e3, 3)
+            for row in rows[:top]}
+
+
 def kernel_callgroups_in_context(kdump: TaskProfileDump, user_ctx: str) -> dict[str, tuple[int, int]]:
     """Kernel activity inside one user routine, grouped by KTAU group.
 

@@ -11,8 +11,8 @@ from repro.analysis.render import ascii_bargraph, ascii_table, cdf_sparkline
 from repro.analysis.related_work import (TABLE1, render_table1,
                                          tools_with_explicit_parallel_support,
                                          tools_with_full_merge)
-from repro.analysis.views import (group_breakdown, kernel_wide_view,
-                                  node_process_view)
+from repro.analysis.views import (group_breakdown, interval_view,
+                                  kernel_wide_view, node_process_view)
 from repro.core.wire import TaskProfileDump
 
 
@@ -125,6 +125,50 @@ class TestViews:
         groups = group_breakdown(d, self.HZ)
         assert groups == {"sched": pytest.approx(100 / self.HZ),
                           "syscall": pytest.approx(40 / self.HZ)}
+
+
+class TestIntervalView:
+    def test_empty_snapshots(self):
+        assert interval_view(None, {}) == {}
+        assert interval_view({}, {}) == {}
+
+    def test_first_snapshot_yields_lifetime_totals(self):
+        curr = {1: _dump(1, "app", {"sys_read": (5, 50, 40, "syscall")})}
+        view = interval_view(None, curr)
+        assert view == {1: {"sys_read": (5, 50, 40)}}
+
+    def test_delta_between_consecutive_snapshots(self):
+        prev = {1: _dump(1, "app", {"sys_read": (5, 50, 40, "syscall"),
+                                    "schedule": (2, 30, 30, "sched")})}
+        curr = {1: _dump(1, "app", {"sys_read": (8, 80, 64, "syscall"),
+                                    "schedule": (2, 30, 30, "sched")})}
+        view = interval_view(prev, curr)
+        # unchanged events drop out; changed ones show their delta only
+        assert view == {1: {"sys_read": (3, 30, 24)}}
+
+    def test_idle_interval_is_empty(self):
+        snap = {1: _dump(1, "app", {"sys_read": (5, 50, 40, "syscall")})}
+        assert interval_view(snap, snap) == {}
+
+    def test_exited_pid_drops_out(self):
+        prev = {1: _dump(1, "app", {"sys_read": (5, 50, 40, "syscall")}),
+                2: _dump(2, "gone", {"sys_read": (1, 10, 10, "syscall")})}
+        curr = {1: _dump(1, "app", {"sys_read": (6, 60, 48, "syscall")})}
+        assert set(interval_view(prev, curr)) == {1}
+
+    def test_pid_reuse_counter_reset(self):
+        # pid 7 exited and was reused by a fresh process whose counters
+        # went "backwards": its current totals count, not a negative delta
+        prev = {7: _dump(7, "old", {"sys_read": (100, 1000, 900, "syscall")})}
+        curr = {7: _dump(7, "new", {"sys_read": (2, 20, 16, "syscall")})}
+        view = interval_view(prev, curr)
+        assert view == {7: {"sys_read": (2, 20, 16)}}
+
+    def test_new_event_on_known_pid(self):
+        prev = {1: _dump(1, "app", {"sys_read": (5, 50, 40, "syscall")})}
+        curr = {1: _dump(1, "app", {"sys_read": (5, 50, 40, "syscall"),
+                                    "schedule": (1, 9, 9, "sched")})}
+        assert interval_view(prev, curr) == {1: {"schedule": (1, 9, 9)}}
 
 
 class TestRender:

@@ -1,5 +1,7 @@
 """Tests for the KTAU clients: runKtau, KTAUD, self-profiling."""
 
+import pytest
+
 from repro.core.clients.ktaud import Ktaud
 from repro.core.clients.runktau import run_ktau
 from repro.core.clients.selfprofile import self_profiling_task
@@ -106,6 +108,47 @@ class TestKtaud:
         task = ktaud.start()
         engine.run(until=1 * SEC)
         assert task.utime_ns > 0
+
+    def test_on_snapshot_callback_streams_every_snapshot(self):
+        engine, kernel = make_kernel()
+        kernel.spawn(busy_job(iterations=40), "app")
+        seen = []
+        ktaud = Ktaud(kernel, period_ns=50 * MSEC,
+                      on_snapshot=seen.append)
+        ktaud.start()
+        engine.run(until=300 * MSEC)
+        assert len(seen) >= 4
+        assert seen == ktaud.snapshots  # same objects, same order
+        assert all(seen[i].time_ns < seen[i + 1].time_ns
+                   for i in range(len(seen) - 1))
+
+    def test_max_snapshots_retention_cap(self):
+        engine, kernel = make_kernel()
+        kernel.spawn(busy_job(iterations=40), "app")
+        seen = []
+        capped = Ktaud(kernel, period_ns=50 * MSEC, max_snapshots=2,
+                       on_snapshot=seen.append)
+        capped.start()
+        engine.run(until=400 * MSEC)
+        assert len(capped.snapshots) == 2
+        assert capped.dropped == len(seen) - 2
+        # the retained snapshots are the most recent ones, in order
+        assert capped.snapshots == seen[-2:]
+
+    def test_retention_default_unbounded_and_identical(self):
+        """Without a cap (the default), behaviour is exactly the old one."""
+        engine, kernel = make_kernel()
+        kernel.spawn(busy_job(iterations=40), "app")
+        ktaud = Ktaud(kernel, period_ns=50 * MSEC)
+        ktaud.start()
+        engine.run(until=400 * MSEC)
+        assert ktaud.dropped == 0
+        assert len(ktaud.snapshots) >= 6
+
+    def test_max_snapshots_validation(self):
+        engine, kernel = make_kernel()
+        with pytest.raises(ValueError):
+            Ktaud(kernel, max_snapshots=0)
 
 
 class TestSelfProfiling:

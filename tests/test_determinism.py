@@ -12,6 +12,8 @@ from repro.cluster.launch import block_placement, launch_mpi_job
 from repro.cluster.machines import make_chiba
 from repro.core.config import KtauBuildConfig
 from repro.core.libktau import LibKtau
+from repro.monitor import (ClusterMonitor, MonitorConfig, integrated_timeline,
+                           monitor_data_to_json)
 from repro.parallel import parallel_map, run_replications
 from repro.sim.units import MSEC
 from repro.workloads.lu import LuParams, lu_app
@@ -93,6 +95,32 @@ def test_parallel_traced_run_matches_serial():
     seeds = [7, 8]
     serial = [run_traced(seed) for seed in seeds]
     assert parallel_map(run_traced, seeds, workers=2) == serial
+
+
+def run_monitored(seed):
+    """A monitored run; returns the canonical JSON of everything the
+    monitor produces (harvest + integrated timeline)."""
+    cluster = make_chiba(nnodes=4, seed=seed)
+    monitor = ClusterMonitor(cluster, MonitorConfig(period_ns=10 * MSEC))
+    job = launch_mpi_job(cluster, 8, lu_app(PARAMS),
+                         placement=block_placement(2, 8),
+                         node_setup=monitor.attach_node)
+    job.run(limit_s=600)
+    data = monitor.harvest()
+    timeline = integrated_timeline(data, job)
+    cluster.teardown()
+    return monitor_data_to_json(data), timeline
+
+
+def test_monitored_runs_bit_identical_serial_vs_parallel():
+    """Monitoring keeps a run deterministic: the harvested series, alerts,
+    and the integrated timeline are byte-identical whether the sweep runs
+    in-process or through worker processes."""
+    seeds = [31, 32]
+    serial = [run_monitored(seed) for seed in seeds]
+    assert parallel_map(run_monitored, seeds, workers=2) == serial
+    # and monitoring is itself reproducible run-to-run
+    assert run_monitored(31) == serial[0]
 
 
 def test_run_replications_matches_serial():

@@ -65,12 +65,13 @@ class TestDeterminismRules:
     def test_sim_kernel_core_are_in_scope(self):
         # The rule's declared scope covers exactly the deterministic
         # substrate — including the replication runner (whose
-        # serial/parallel equivalence depends on it) and the
-        # observability layer (whose wall-clock reads are confined to
-        # two suppressed lines in repro.obs.runtime).
+        # serial/parallel equivalence depends on it), the observability
+        # layer (whose wall-clock reads are confined to two suppressed
+        # lines in repro.obs.runtime), and the online monitor (whose
+        # harvests are byte-compared across serial/parallel runs).
         from repro.lint.determinism import SCOPE
         assert SCOPE == ("repro.sim", "repro.kernel", "repro.core",
-                         "repro.parallel", "repro.obs")
+                         "repro.parallel", "repro.obs", "repro.monitor")
 
     def test_wall_clock_in_copied_sim_module(self, tmp_path):
         # A file that *is* part of repro.sim (by path) gets the rule...

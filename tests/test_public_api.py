@@ -34,6 +34,9 @@ PUBLIC_MODULES = [
     "repro.parallel", "repro.parallel.runner", "repro.parallel.merge",
     "repro.obs", "repro.obs.runtime", "repro.obs.metrics", "repro.obs.tracer",
     "repro.obs.manifest",
+    "repro.monitor", "repro.monitor.cluster_monitor", "repro.monitor.series",
+    "repro.monitor.intervals", "repro.monitor.alerts", "repro.monitor.detect",
+    "repro.monitor.timeline", "repro.monitor.dashboard",
     "repro.analysis", "repro.analysis.profiles", "repro.analysis.views",
     "repro.analysis.stats", "repro.analysis.cdf", "repro.analysis.histogram",
     "repro.analysis.tracemerge", "repro.analysis.tracestats",
