@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-json check bench bench-smoke obs-demo monitor-demo
+.PHONY: test lint lint-json lint-sarif lint-graph lint-report check \
+	bench bench-smoke obs-demo monitor-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -12,10 +13,21 @@ lint:
 lint-json:
 	$(PYTHON) -m repro.lint src/repro --format=json
 
+lint-sarif:
+	$(PYTHON) -m repro.lint src/repro --format=sarif
+
+lint-graph:
+	$(PYTHON) -m repro.lint src/repro --graph-out lint_imports.dot
+
+lint-report:
+	$(PYTHON) -m repro.lint src/repro --format=json \
+		--graph-out lint_imports.dot > lint_findings.json
+	$(PYTHON) -m repro.lint src/repro --format=sarif > lint_findings.sarif
+
 check: lint test
 
 bench:
-	$(PYTHON) benchmarks/bench.py --out BENCH_pr5.json
+	$(PYTHON) benchmarks/bench.py --out BENCH_pr6.json
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench.py --smoke --out bench_smoke.json

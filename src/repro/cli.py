@@ -178,6 +178,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     argv += ["--format", args.format]
     if args.select:
         argv += ["--select", args.select]
+    if args.graph_out:
+        argv += ["--graph-out", args.graph_out]
     return lint_main(argv)
 
 
@@ -450,9 +452,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = add_parser("lint", help="run ktaulint static analysis")
     lint.add_argument("paths", nargs="*", default=["src/repro"])
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text")
     lint.add_argument("--select", default=None,
                       help="comma-separated rule IDs to report")
+    lint.add_argument("--graph-out", default=None, metavar="FILE",
+                      help="write the module dependency graph (DOT)")
     lint.set_defaults(func=_cmd_lint)
 
     stats = add_parser("stats",

@@ -28,6 +28,34 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
     from repro.kernel.task import Task
 
+#: Entry points that execute in (simulated) interrupt or softirq
+#: context: everything statically reachable from these must be
+#: non-blocking — no waitqueue sleeps, no context switches.  The
+#: KTAU7xx lint pass (:mod:`repro.lint.contexts`) reads this tuple from
+#: the AST and proves the property over the call graph, exactly as
+#: lockdep would at run time.  Qualified names are ``Class.method`` (any
+#: module) or ``module.function``.
+IRQ_CONTEXT_ROOTS: tuple[str, ...] = (
+    "IrqController.deliver",
+    "IrqController._record",
+    "Kernel.net_rx",
+    "Kernel._net_rx_bh",
+    "Nic.transmit_group",
+)
+
+#: Sanctioned handoffs out of interrupt context.  ``Scheduler.wake`` is
+#: the simulation's ``try_to_wake_up``: callable from IRQ context, and
+#: everything past it (dispatch, driving the woken task's generator)
+#: runs in the *woken task's* context — the simulation compresses
+#: irq-exit-then-schedule() into one synchronous call.  The KTAU7xx
+#: reachability analysis therefore stops at these functions; reaching a
+#: blocking operation without passing through one is a violation.
+IRQ_CONTEXT_BOUNDARIES: tuple[str, ...] = (
+    "Scheduler.wake",
+    "Scheduler24.wake",
+    "Scheduler.tick_balance",
+)
+
 
 class KSpan:
     """A costed, nested kernel routine for interrupt-context execution.

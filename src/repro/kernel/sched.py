@@ -659,6 +659,12 @@ class Scheduler:
         task.state = TaskState.EXITED
         task.exit_time_ns = self.kernel.engine.now
         task.exit_code = -9
+        # A blocked/ready task still has its split-phase scheduling-wait
+        # span open (entered in _ktau_sched_out, normally closed when the
+        # task is scheduled back in).  The kill ends that wait now; close
+        # the span first so the syscall exits fired by frame unwinding
+        # below pop in LIFO order instead of being dropped as unmatched.
+        self._ktau_sched_in(task)
         self._close_frames(task)
         self.kernel.on_task_exited(task)
         for callback in task.exit_callbacks:

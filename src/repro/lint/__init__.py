@@ -13,12 +13,23 @@ refactor that silently breaks one is caught at lint time:
 * :mod:`repro.lint.registry` — declared-vs-fired instrumentation-point
   cross-reference (KTAU301-304);
 * :mod:`repro.lint.api` — ``__all__`` drift and architectural layering
-  (KTAU401-402).
+  (KTAU401-402);
+* :mod:`repro.lint.sharing` — shared-mutable-state escape analysis with
+  an explicit allowlist manifest (:mod:`repro.lint.manifest`), proving
+  the shard-isolation prerequisite of parallel DES (KTAU501-504);
+* :mod:`repro.lint.imports` — the full module dependency graph: cycle
+  detection, transitive layering, and the shard-boundary property
+  (KTAU601-603);
+* :mod:`repro.lint.contexts` — lockdep-flavoured IRQ-context safety
+  over a static call graph (:mod:`repro.lint.callgraph`): interrupt
+  work never sleeps or context-switches directly (KTAU701-703).
 
-The static pass has a dynamic twin: ``repro.core.measurement.Ktau``'s
+The static passes have dynamic twins: ``repro.core.measurement.Ktau``'s
 opt-in *strict mode* raises on activation-stack imbalance at run time,
-validating what the lint proves.  Run the linter with ``python -m
-repro.lint [paths] [--format=text|json]`` or ``python -m repro lint``;
+and :class:`repro.cluster.shardsan.ShardIsolationSanitizer` tags engine
+events with their owning node to catch cross-shard access the escape
+analysis reasons about.  Run the linter with ``python -m repro.lint
+[paths] [--format=text|json|sarif]`` or ``python -m repro lint``;
 suppress an individual finding with a ``# ktaulint: disable=RULE``
 comment on the flagged line.
 """

@@ -17,9 +17,13 @@ A finding is dropped when its line carries a suppression comment::
 ``disable=RULE1,RULE2`` silences the named rules on that line; a bare
 ``# ktaulint: disable`` silences every rule on the line; and
 ``# ktaulint: disable-file=RULE`` anywhere in a file silences the rule
-for the whole file.  Suppressions are deliberate, visible-in-diff escape
-hatches for the rare instrumentation idiom the analysis cannot prove
-(e.g. KTAU's split-phase scheduler spans).
+for the whole file.  A suppression on the *last* line of a multi-line
+simple statement (the closing paren of a wrapped call, where formatters
+put trailing comments) covers the whole statement; comments on interior
+continuation lines stay line-scoped, so one waiver inside a long literal
+cannot silently blanket its siblings.  Suppressions are deliberate,
+visible-in-diff escape hatches for the rare instrumentation idiom the
+analysis cannot prove (e.g. KTAU's split-phase scheduler spans).
 """
 
 from __future__ import annotations
@@ -74,6 +78,7 @@ class SourceFile:
         #: rules suppressed for the whole file
         self.file_suppressions: set[str] = set()
         self._scan_suppressions()
+        self._extend_statement_spans()
 
     def _scan_suppressions(self) -> None:
         for lineno, line in enumerate(self.text.splitlines(), start=1):
@@ -85,6 +90,36 @@ class SourceFile:
             if m.group(1):  # disable-file
                 self.file_suppressions |= rules
             else:
+                self.line_suppressions.setdefault(lineno, set()).update(rules)
+
+    #: compound statements own their body lines; only *simple* statements
+    #: get whole-span suppression from a trailing comment
+    _COMPOUND = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                 ast.For, ast.AsyncFor, ast.While, ast.If, ast.With,
+                 ast.AsyncWith, ast.Try, ast.Match)
+
+    def _extend_statement_spans(self) -> None:
+        """A suppression on the last line of a multi-line simple statement
+        (the closing paren of a wrapped call) covers the whole statement.
+
+        Only the *last* line extends: honouring interior continuation
+        lines would let one per-entry waiver inside a long table literal
+        (e.g. the KTAU303 waivers in core/points.py) silently blanket
+        every other entry of the same statement.
+        """
+        if not self.line_suppressions:
+            return
+        for node in ast.walk(self.tree):
+            if (not isinstance(node, ast.stmt)
+                    or isinstance(node, self._COMPOUND)):
+                continue
+            end = getattr(node, "end_lineno", None)
+            if end is None or end <= node.lineno:
+                continue
+            rules = self.line_suppressions.get(end)
+            if not rules:
+                continue
+            for lineno in range(node.lineno, end):
                 self.line_suppressions.setdefault(lineno, set()).update(rules)
 
     def is_suppressed(self, finding: Finding) -> bool:
@@ -171,7 +206,8 @@ def known_rule_ids() -> frozenset[str]:
 
 def _load_builtin_rules() -> None:
     """Import the rule modules (registration happens at import time)."""
-    from repro.lint import api, balance, determinism, registry  # noqa: F401
+    from repro.lint import (api, balance, contexts, determinism,  # noqa: F401
+                            imports, registry, sharing)
 
 
 class ParseError(Exception):

@@ -1,0 +1,450 @@
+"""KTAU5xx: shared-mutable-state escape analysis.
+
+ROADMAP item 1 shards the cluster simulation across node groups.  That
+is only correct if no mutable state is reachable from two shards: every
+module-level mutable binding, class-level mutable attribute, or function
+that mutates module state is a potential cross-shard channel that would
+silently break conservative-window parallelism.
+
+The rules, over the shard substrate (``sim``/``kernel``/``cluster``/
+``core``/``obs``/``tau``):
+
+* **KTAU501** — module-level mutable binding (list/dict/set literal or
+  comprehension, mutable builtin constructor, or instantiation of a
+  project class that is not a frozen dataclass).  Sanctioned singletons
+  must appear in the allowlist manifest
+  (:mod:`repro.lint.manifest`) with a classification and reason.
+* **KTAU502** — class-level mutable attribute: one object shared by
+  every instance of the class, i.e. by every node that instantiates it.
+  (``dataclasses.field`` defaults are per-instance and exempt.)
+* **KTAU503** — function-scope mutation of module-level state: a
+  ``global`` rebind, a mutating method call (``.append``/``.update``/
+  …), a subscript store on a module-level name, or an attribute store
+  through an imported module alias.  Allowlisted bindings may be
+  mutated (the manifest reason must justify it).
+* **KTAU504** — manifest audit: entries whose binding no longer exists
+  in the linted tree, whose classification is unknown, or whose reason
+  is empty.  Keeps the allowlist from rotting into a blanket waiver.
+
+Analysis is static and conservative: values the analysis cannot prove
+mutable (calls into unknown code, plain names) are not flagged.  The
+manifest is read from the linted sources when one of them defines
+``SHARD_ALLOWLIST`` (so fixture trees are self-contained), falling back
+to the in-repo :data:`repro.lint.manifest.SHARD_ALLOWLIST`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Sequence
+
+from repro.lint.engine import ProjectRule, SourceFile, register
+from repro.lint.findings import Finding, Severity
+
+#: builtin constructors whose result is mutable
+_MUTABLE_BUILTINS = {
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "OrderedDict", "Counter", "ChainMap",
+}
+
+#: literal/comprehension nodes that build a mutable container
+_MUTABLE_LITERALS = {
+    ast.List: "list literal", ast.Dict: "dict literal",
+    ast.Set: "set literal", ast.ListComp: "list comprehension",
+    ast.SetComp: "set comprehension", ast.DictComp: "dict comprehension",
+}
+
+#: method names that mutate their receiver in place
+_MUTATORS = {
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "sort", "reverse",
+    "appendleft", "popleft", "extendleft", "subtract",
+}
+
+#: base-class names marking a class as an immutable value type
+_IMMUTABLE_BASES = {"Enum", "IntEnum", "StrEnum", "Flag", "IntFlag",
+                    "NamedTuple", "frozenset", "tuple", "Protocol"}
+
+#: classifications KTAU504 accepts (mirrors manifest.ALLOWED_CLASSIFICATIONS;
+#: duplicated here so fixture trees need not ship the manifest module)
+_CLASSIFICATIONS = {"singleton", "shard-local", "message-carried"}
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        name = deco.func
+        dotted = (name.attr if isinstance(name, ast.Attribute)
+                  else name.id if isinstance(name, ast.Name) else "")
+        if dotted != "dataclass":
+            continue
+        for kw in deco.keywords:
+            if (kw.arg == "frozen" and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True):
+                return True
+    return False
+
+
+def _is_immutable_class(node: ast.ClassDef) -> bool:
+    if _is_frozen_dataclass(node):
+        return True
+    for base in node.bases:
+        name = (base.attr if isinstance(base, ast.Attribute)
+                else base.id if isinstance(base, ast.Name) else "")
+        if name in _IMMUTABLE_BASES:
+            return True
+    return False
+
+
+def _import_map(tree: ast.Module, module: str) -> dict[str, tuple[str, Optional[str]]]:
+    """local name -> (source module, symbol or None for whole-module)."""
+    out: dict[str, tuple[str, Optional[str]]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name, None)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:  # relative: resolve against this module
+                parts = module.split(".")
+                parts = parts[:len(parts) - node.level]
+                base = ".".join(parts + ([node.module] if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                out[alias.asname or alias.name] = (base, alias.name)
+    return out
+
+
+def _module_bindings(source: SourceFile) -> dict[str, int]:
+    """Module-level assigned names -> first line of assignment."""
+    out: dict[str, int] = {}
+    for stmt in source.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        for t in targets:
+            for node in ast.walk(t):
+                if isinstance(node, ast.Name):
+                    out.setdefault(node.id, stmt.lineno)
+    return out
+
+
+class _ClassIndex:
+    """(module, class name) -> ClassDef across the whole tree."""
+
+    def __init__(self, sources: Sequence[SourceFile]):
+        self.classes: dict[tuple[str, str], ast.ClassDef] = {}
+        for src in sources:
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.ClassDef):
+                    self.classes[(src.module, node.name)] = node
+
+    def resolve(self, source: SourceFile,
+                imports: dict[str, tuple[str, Optional[str]]],
+                func: ast.expr) -> Optional[ast.ClassDef]:
+        """The project ClassDef a call's func refers to, if resolvable."""
+        if isinstance(func, ast.Name):
+            local = self.classes.get((source.module, func.id))
+            if local is not None:
+                return local
+            target = imports.get(func.id)
+            if target is not None and target[1] is not None:
+                return self.classes.get(target)
+        elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            target = imports.get(func.value.id)
+            if target is not None and target[1] is None:
+                return self.classes.get((target[0], func.attr))
+        return None
+
+
+def _mutable_reason(source: SourceFile, index: _ClassIndex,
+                    imports: dict[str, tuple[str, Optional[str]]],
+                    value: ast.expr) -> Optional[str]:
+    """Why ``value`` builds a mutable object, or None if unprovable."""
+    for node_type, label in _MUTABLE_LITERALS.items():
+        if isinstance(value, node_type):
+            return label
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = (func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name) else "")
+        if name in _MUTABLE_BUILTINS:
+            return f"{name}() constructor"
+        cls = index.resolve(source, imports, value.func)
+        if cls is not None and not _is_immutable_class(cls):
+            return f"instance of mutable class {cls.name}"
+    return None
+
+
+def _find_manifest(sources: Sequence[SourceFile]
+                   ) -> Optional[tuple[SourceFile, ast.expr]]:
+    """The source (and dict AST node) defining SHARD_ALLOWLIST, if any."""
+    for src in sources:
+        for stmt in src.tree.body:
+            target = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target, value = stmt.target, stmt.value
+            else:
+                continue
+            if (isinstance(target, ast.Name)
+                    and target.id == "SHARD_ALLOWLIST"):
+                return src, value
+    return None
+
+
+def _parse_manifest(node: ast.expr) -> dict[str, tuple[object, object, int]]:
+    """key -> (classification, reason, line); tolerant of bad shapes."""
+    out: dict[str, tuple[object, object, int]] = {}
+    if not isinstance(node, ast.Dict):
+        return out
+    for key_node, val_node in zip(node.keys, node.values):
+        try:
+            key = ast.literal_eval(key_node) if key_node is not None else None
+            val = ast.literal_eval(val_node)
+        except (ValueError, SyntaxError):
+            continue
+        if not isinstance(key, str):
+            continue
+        cls, reason = (val if isinstance(val, tuple) and len(val) == 2
+                       else (None, None))
+        out[key] = (cls, reason, key_node.lineno)
+    return out
+
+
+@register
+class SharedStateRule(ProjectRule):
+    """KTAU501-504: mutable state escaping the per-node ownership tree."""
+
+    rule_id = "KTAU501"
+    name = "shared-mutable-state"
+    severity = Severity.ERROR
+    description = ("Module-level or class-level mutable state in the shard "
+                   "substrate must be allowlisted in the sharing manifest")
+    scope = ("repro.sim", "repro.kernel", "repro.cluster", "repro.core",
+             "repro.obs", "repro.tau")
+    emits = ("KTAU501", "KTAU502", "KTAU503", "KTAU504")
+
+    def __init__(self, allowlist: Optional[dict[str, tuple[str, str]]] = None):
+        #: explicit allowlist override (tests); None = discover
+        self._allowlist_override = allowlist
+
+    # -- manifest ---------------------------------------------------------
+    def _allowlist(self, sources: Sequence[SourceFile]
+                   ) -> tuple[dict[str, tuple[object, object, int]],
+                              Optional[SourceFile]]:
+        if self._allowlist_override is not None:
+            return ({k: (c, r, 0) for k, (c, r)
+                     in self._allowlist_override.items()}, None)
+        found = _find_manifest(sources)
+        if found is not None:
+            src, node = found
+            return _parse_manifest(node), src
+        from repro.lint import manifest  # in-repo fallback
+        return ({k: (c, r, 0) for k, (c, r)
+                 in manifest.SHARD_ALLOWLIST.items()}, None)
+
+    # -- the check --------------------------------------------------------
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        index = _ClassIndex(sources)
+        allowlist, manifest_src = self._allowlist(sources)
+        # The manifest module is the declaration table, not shard state.
+        scoped = [s for s in sources if self.applies(s)
+                  and s is not manifest_src
+                  and s.module != "repro.lint.manifest"]
+        bindings = {s.module: _module_bindings(s) for s in sources}
+        for src in scoped:
+            imports = _import_map(src.tree, src.module)
+            findings.extend(self._check_globals(src, index, imports, allowlist))
+            findings.extend(self._check_class_attrs(src, index, imports))
+            findings.extend(self._check_mutations(src, imports, allowlist))
+        findings.extend(self._check_manifest(
+            sources, manifest_src, allowlist, bindings))
+        return findings
+
+    def _emit(self, rule_id: str, src: SourceFile, line: int,
+              message: str) -> Finding:
+        return Finding(rule_id, Severity.ERROR, str(src.path), line, message)
+
+    def _check_globals(self, src, index, imports, allowlist):
+        for stmt in src.tree.body:
+            pairs: list[tuple[str, ast.expr]] = []
+            if isinstance(stmt, ast.Assign):
+                pairs = [(t.id, stmt.value) for t in stmt.targets
+                         if isinstance(t, ast.Name)]
+            elif (isinstance(stmt, ast.AnnAssign) and stmt.value is not None
+                    and isinstance(stmt.target, ast.Name)):
+                pairs = [(stmt.target.id, stmt.value)]
+            for name, value in pairs:
+                if name.startswith("__"):  # __all__ and friends
+                    continue
+                reason = _mutable_reason(src, index, imports, value)
+                if reason is None:
+                    continue
+                key = f"{src.module}.{name}"
+                if key in allowlist:
+                    continue
+                yield self._emit(
+                    "KTAU501", src, stmt.lineno,
+                    f"module-level mutable state '{name}' ({reason}) is "
+                    f"reachable from every shard; make it shard-local or "
+                    f"allowlist '{key}' in the sharing manifest")
+
+    def _check_class_attrs(self, src, index, imports):
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if _is_immutable_class(node):
+                continue
+            for stmt in node.body:
+                pairs: list[tuple[str, ast.expr]] = []
+                if isinstance(stmt, ast.Assign):
+                    pairs = [(t.id, stmt.value) for t in stmt.targets
+                             if isinstance(t, ast.Name)]
+                elif (isinstance(stmt, ast.AnnAssign)
+                        and stmt.value is not None
+                        and isinstance(stmt.target, ast.Name)):
+                    pairs = [(stmt.target.id, stmt.value)]
+                for name, value in pairs:
+                    if (isinstance(value, ast.Call)
+                            and isinstance(value.func, ast.Name)
+                            and value.func.id == "field"):
+                        continue  # dataclasses.field: per-instance default
+                    reason = _mutable_reason(src, index, imports, value)
+                    if reason is None:
+                        continue
+                    yield self._emit(
+                        "KTAU502", src, stmt.lineno,
+                        f"class-level mutable attribute "
+                        f"'{node.name}.{name}' ({reason}) is shared by "
+                        f"every instance across shards; initialise it in "
+                        f"__init__ instead")
+
+    def _check_mutations(self, src, imports, allowlist):
+        module_names = set(_module_bindings(src))
+        for func in ast.walk(src.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            declared_global: set[str] = set()
+            local: set[str] = {a.arg for a in func.args.args
+                               + func.args.posonlyargs + func.args.kwonlyargs}
+            if func.args.vararg:
+                local.add(func.args.vararg.arg)
+            if func.args.kwarg:
+                local.add(func.args.kwarg.arg)
+            nested: set[int] = set()
+            for node in ast.walk(func):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)) and node is not func:
+                    nested.update(id(n) for n in ast.walk(node))
+            for node in ast.walk(func):
+                if id(node) in nested:
+                    continue  # nested scopes analysed on their own walk
+                if isinstance(node, ast.Global):
+                    declared_global.update(node.names)
+                elif isinstance(node, (ast.Assign, ast.AnnAssign,
+                                       ast.AugAssign)):
+                    targets = (node.targets if isinstance(node, ast.Assign)
+                               else [node.target])
+                    for t in targets:
+                        if isinstance(t, ast.Name):
+                            if t.id in declared_global:
+                                key = f"{src.module}.{t.id}"
+                                if key not in allowlist:
+                                    yield self._emit(
+                                        "KTAU503", src, node.lineno,
+                                        f"function '{func.name}' rebinds "
+                                        f"module-level '{t.id}' via global; "
+                                        f"shard-owned state must live on a "
+                                        f"node object (or allowlist "
+                                        f"'{key}')")
+                            else:
+                                local.add(t.id)
+                        elif (isinstance(t, ast.Subscript)
+                                and isinstance(t.value, ast.Name)
+                                and t.value.id in module_names
+                                and t.value.id not in local):
+                            key = f"{src.module}.{t.value.id}"
+                            if key not in allowlist:
+                                yield self._emit(
+                                    "KTAU503", src, node.lineno,
+                                    f"function '{func.name}' stores into "
+                                    f"module-level '{t.value.id}'; mutation "
+                                    f"of process-wide state crosses shards "
+                                    f"(or allowlist '{key}')")
+                        elif (isinstance(t, ast.Attribute)
+                                and isinstance(t.value, ast.Name)
+                                and t.value.id in imports
+                                and imports[t.value.id][1] is None):
+                            mod = imports[t.value.id][0]
+                            key = f"{mod}.{t.attr}"
+                            if (mod.startswith("repro")
+                                    and key not in allowlist):
+                                yield self._emit(
+                                    "KTAU503", src, node.lineno,
+                                    f"function '{func.name}' assigns "
+                                    f"'{t.value.id}.{t.attr}' — mutating "
+                                    f"another module's state from function "
+                                    f"scope (or allowlist '{key}')")
+                elif (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _MUTATORS
+                        and isinstance(node.func.value, ast.Name)):
+                    name = node.func.value.id
+                    if name in module_names and name not in local:
+                        key = f"{src.module}.{name}"
+                        if key not in allowlist:
+                            yield self._emit(
+                                "KTAU503", src, node.lineno,
+                                f"function '{func.name}' calls "
+                                f"'{name}.{node.func.attr}()' on module-"
+                                f"level state; shard-owned state must be "
+                                f"reached through a node object (or "
+                                f"allowlist '{key}')")
+                elif isinstance(node, ast.For):
+                    for t in ast.walk(node.target):
+                        if isinstance(t, ast.Name):
+                            local.add(t.id)
+
+    def _check_manifest(self, sources, manifest_src, allowlist, bindings):
+        if self._allowlist_override is not None and manifest_src is None:
+            # injected allowlists are the test's responsibility to audit
+            return
+        # Locate the file to anchor findings on: the discovered manifest
+        # source, else the in-repo manifest module if it was linted.
+        anchor = manifest_src
+        if anchor is None:
+            for src in sources:
+                if src.module == "repro.lint.manifest":
+                    anchor = src
+                    break
+        if anchor is None:
+            return
+        for key, (cls, reason, line) in sorted(allowlist.items()):
+            line = line or 1
+            if cls not in _CLASSIFICATIONS:
+                yield self._emit(
+                    "KTAU504", anchor, line,
+                    f"manifest entry '{key}' has unknown classification "
+                    f"{cls!r} (expected one of "
+                    f"{sorted(_CLASSIFICATIONS)})")
+            if not isinstance(reason, str) or not reason.strip():
+                yield self._emit(
+                    "KTAU504", anchor, line,
+                    f"manifest entry '{key}' has no reason; every "
+                    f"sanctioned singleton must say why it is safe")
+            module, _, name = key.rpartition(".")
+            # Walk outward: "a.b.c.NAME" could be module a.b.c or a.b
+            # with class attr — only the module form is supported.
+            if module in bindings and name not in bindings[module]:
+                yield self._emit(
+                    "KTAU504", anchor, line,
+                    f"stale manifest entry '{key}': module '{module}' "
+                    f"defines no module-level binding '{name}'")

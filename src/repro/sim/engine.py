@@ -118,6 +118,12 @@ class Engine:
         self._pool_misses: int = 0
         self._cancels: int = 0
         self._compactions: int = 0
+        #: Optional hook wrapping every scheduled callback (used by the
+        #: shard-isolation sanitizer to tag events with an owning node).
+        #: ``None`` in normal runs: the only cost is one comparison on
+        #: the schedule path; the dispatch loop never sees it.
+        self.schedule_interceptor: Optional[
+            Callable[[Callable[[], None], str], Callable[[], None]]] = None
         #: last-published cumulative counters, for metrics deltas:
         #: [seq, fired, cancels, pool_misses, compactions]
         self._obs_base: list[int] = [0, 0, 0, 0, 0]
@@ -132,6 +138,8 @@ class Engine:
         """
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < now {self.now}")
+        if self.schedule_interceptor is not None:
+            fn = self.schedule_interceptor(fn, label)
         seq = self._seq + 1
         self._seq = seq
         free = self._free

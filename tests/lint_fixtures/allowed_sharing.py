@@ -1,0 +1,17 @@
+"""ktaulint fixture: module-level state sanctioned by a manifest.
+
+Lint this together with ``sharing_manifest.py``: REGISTRY/TABLE/CACHE
+are allowlisted there (so no KTAU501/503 fire here), but two of the
+manifest entries are themselves malformed and one is stale (KTAU504).
+"""
+
+
+REGISTRY = {}  # allowlisted with a valid entry: clean
+
+TABLE = []  # allowlisted with a bogus classification: KTAU504 (there)
+
+CACHE = {}  # allowlisted with an empty reason: KTAU504 (there)
+
+
+def reset():
+    REGISTRY.clear()  # allowlisted: mutation is sanctioned

@@ -1,0 +1,31 @@
+"""ktaulint fixture: IRQ-context violations at known lines.
+
+Line numbers are asserted exactly by tests/test_lint.py — do not reflow.
+"""
+
+
+IRQ_CONTEXT_ROOTS = ("irq_deliver",)
+IRQ_CONTEXT_BOUNDARIES = ("wake_up",)
+
+
+def drain(waitq):
+    while waitq.items:
+        yield Block(waitq)  # line 13: KTAU701 (sleep reached from IRQ)
+
+
+def wake_up(task):
+    start_task(task)  # legal: boundary body runs in task context
+
+
+def start_task(task):
+    task.state = "running"
+
+
+def irq_deliver(engine, waitq, task):
+    drain(waitq)  # reaches the waitqueue sleep above
+    start_task(task)  # line 26: KTAU702 (context switch from IRQ)
+    wake_up(task)  # fine: declared handoff boundary
+
+
+def bad_schedule(engine, waitq):
+    engine.schedule(0, drain)  # line 31: KTAU703 (generator as callback)

@@ -1,0 +1,29 @@
+"""ktaulint fixture: every sharing rule violated at a known line.
+
+Line numbers are asserted exactly by tests/test_lint.py — do not reflow.
+"""
+
+
+PENDING = []  # line 7: KTAU501 (list literal)
+STATS = dict()  # line 8: KTAU501 (dict() constructor)
+counter = 0
+
+
+class Accumulator:
+    history = []  # line 13: KTAU502 (shared by every instance)
+
+    def __init__(self):
+        self.local = []
+
+
+def bump():
+    global counter
+    counter = counter + 1  # line 21: KTAU503 (global rebind)
+
+
+def record(item):
+    PENDING.append(item)  # line 25: KTAU503 (mutator call)
+
+
+def index(key, value):
+    STATS[key] = value  # line 29: KTAU503 (subscript store)

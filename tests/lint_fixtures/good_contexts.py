@@ -1,0 +1,33 @@
+"""ktaulint fixture: IRQ-context-clean patterns (no KTAU7xx findings)."""
+
+
+IRQ_CONTEXT_ROOTS = ("irq_deliver",)
+IRQ_CONTEXT_BOUNDARIES = ("wake_up",)
+
+
+def reader(waitq):
+    value = yield Block(waitq)  # blocks, but is never IRQ-reachable
+    return value
+
+
+def wake_up(task):
+    start_task(task)  # past the boundary: task context
+
+
+def start_task(task):
+    task.state = "running"
+
+
+def irq_deliver(task, counts, cpu):
+    counts[cpu] += 1  # non-blocking bookkeeping
+    wake_up(task)  # sanctioned handoff out of IRQ context
+
+
+def make_cb():
+    def cb():
+        return None
+    return cb
+
+
+def arm(engine):
+    engine.schedule(0, make_cb())  # plain-callback factory: fine

@@ -1,0 +1,32 @@
+"""ktaulint fixture: shard-clean state patterns (no sharing findings).
+
+Mutable state lives on instances; module level holds only immutables.
+"""
+
+from dataclasses import dataclass
+
+LIMITS = (1, 2, 3)
+NAME = "fixture"
+
+
+@dataclass(frozen=True)
+class Config:
+    retries: int = 3
+
+
+DEFAULT_CONFIG = Config()  # frozen dataclass: immutable value object
+
+
+class Worker:
+    limit = 10  # immutable class attribute is fine
+
+    def __init__(self):
+        self.queue = []  # per-instance state, owned by one shard
+
+    def push(self, item):
+        self.queue.append(item)
+
+    def reconfigure(self):
+        local = []  # locals named like containers are not module state
+        local.append(self.limit)
+        return local

@@ -1,0 +1,16 @@
+"""ktaulint fixture manifest for ``allowed_sharing.py``.
+
+Line numbers are asserted exactly by tests/test_lint.py — do not reflow.
+"""
+
+
+SHARD_ALLOWLIST = {
+    "allowed_sharing.REGISTRY": (
+        "singleton", "fixture registry; read only at flush points"),
+    "allowed_sharing.TABLE": (  # line 10: KTAU504 (bad classification)
+        "global", "classification is not a recognised one"),
+    "allowed_sharing.CACHE": (  # line 12: KTAU504 (empty reason)
+        "singleton", ""),
+    "allowed_sharing.GONE": (  # line 14: KTAU504 (stale binding)
+        "singleton", "this binding no longer exists"),
+}

@@ -70,6 +70,22 @@ class TestDaemons:
         assert all(not t.alive for t in cluster.nodes[0].kernel.all_tasks
                    if t.comm in {c for c, _p, _w in STANDARD_DAEMONS})
 
+    def test_teardown_leaves_scheduling_spans_balanced(self):
+        # Daemons killed while blocked in sys_nanosleep still have the
+        # split-phase scheduling-wait span open; kill_blocked must close
+        # it before unwinding frames so the syscall exits pair in LIFO
+        # order (regression: 16 unmatched exits per 4-node teardown).
+        cluster = make_chiba(nnodes=4)
+        for node in cluster.nodes:
+            start_standard_daemons(node)
+        cluster.engine.run(until=1 * SEC)
+        cluster.teardown()
+        unmatched = sum(t.ktau.unmatched_exits
+                        for node in cluster.nodes
+                        for t in node.kernel.all_tasks
+                        if t.ktau is not None)
+        assert unmatched == 0
+
 
 class TestLaunchAndHarvest:
     def test_job_runs_to_completion(self):

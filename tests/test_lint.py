@@ -149,6 +149,162 @@ class TestApiRules:
         assert run_on(tmp_path) == []
 
 
+class TestSharingRules:
+    def test_bad_sharing_exact_findings(self):
+        findings = run_on(FIXTURES / "bad_sharing.py")
+        assert locations(findings) == [
+            ("KTAU501", 7),   # PENDING = [] at module level
+            ("KTAU501", 8),   # STATS = dict() at module level
+            ("KTAU502", 13),  # Accumulator.history class-level list
+            ("KTAU503", 21),  # global rebind of counter
+            ("KTAU503", 25),  # PENDING.append(...) from function scope
+            ("KTAU503", 29),  # STATS[key] = ... from function scope
+        ]
+        assert all(f.severity is Severity.ERROR for f in findings)
+
+    def test_messages_name_the_binding(self):
+        findings = run_on(FIXTURES / "bad_sharing.py")
+        by_loc = {(f.rule_id, f.line): f.message for f in findings}
+        assert "'PENDING'" in by_loc[("KTAU501", 7)]
+        assert "'Accumulator.history'" in by_loc[("KTAU502", 13)]
+        assert "allowlist" in by_loc[("KTAU503", 25)]
+
+    def test_clean_patterns_prove_clean(self):
+        # Tuples, frozen dataclasses, immutable class attrs, instance
+        # state created in __init__: no false positives.
+        assert run_on(FIXTURES / "good_sharing.py") == []
+
+    def test_manifest_sanctions_state_and_audits_itself(self):
+        # REGISTRY/TABLE/CACHE are allowlisted (no KTAU501/503 in the
+        # state module) but the manifest's own bad entries are caught.
+        findings = LintEngine().run([FIXTURES / "allowed_sharing.py",
+                                     FIXTURES / "sharing_manifest.py"])
+        assert locations(findings) == [
+            ("KTAU504", 10),  # classification "global" is not recognised
+            ("KTAU504", 12),  # empty reason
+            ("KTAU504", 14),  # allowed_sharing.GONE is stale
+        ]
+        assert all(f.path.endswith("sharing_manifest.py") for f in findings)
+
+    def test_injected_allowlist_overrides_discovery(self, tmp_path):
+        from repro.lint.sharing import SharedStateRule
+        kdir = tmp_path / "repro" / "kernel"
+        kdir.mkdir(parents=True)
+        (kdir / "state.py").write_text("CACHE = {}\n")
+        flagged = LintEngine(rules=[SharedStateRule()]).run([tmp_path])
+        assert locations(flagged) == [("KTAU501", 1)]
+        waived = LintEngine(rules=[SharedStateRule(
+            allowlist={"repro.kernel.state.CACHE":
+                       ("singleton", "test fixture")})]).run([tmp_path])
+        assert waived == []
+
+
+class TestImportGraphRules:
+    @staticmethod
+    def _tree(tmp_path, files):
+        for rel, text in files.items():
+            p = tmp_path / "repro" / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(text)
+        return tmp_path
+
+    def test_import_cycle_detected(self, tmp_path):
+        root = self._tree(tmp_path, {
+            "kernel/a.py": "import repro.kernel.b\n",
+            "kernel/b.py": "import repro.kernel.a\n"})
+        findings = run_on(root, select=["KTAU601"])
+        assert len(findings) == 1
+        assert findings[0].rule_id == "KTAU601"
+        assert "repro.kernel.a" in findings[0].message
+        assert "repro.kernel.b" in findings[0].message
+
+    def test_deferred_import_is_the_sanctioned_cycle_break(self, tmp_path):
+        # A function-scoped import executes at call time, not load time,
+        # so it is not an import-time edge and the cycle dissolves.
+        root = self._tree(tmp_path, {
+            "kernel/a.py": ("def late():\n"
+                            "    import repro.kernel.b\n"
+                            "    return repro.kernel.b\n"),
+            "kernel/b.py": "import repro.kernel.a\n"})
+        assert run_on(root, select=["KTAU601"]) == []
+
+    def test_type_checking_import_breaks_cycle(self, tmp_path):
+        root = self._tree(tmp_path, {
+            "kernel/a.py": ("from typing import TYPE_CHECKING\n"
+                            "if TYPE_CHECKING:\n"
+                            "    import repro.kernel.b\n"),
+            "kernel/b.py": "import repro.kernel.a\n"})
+        assert run_on(root, select=["KTAU601"]) == []
+
+    def test_transitive_layer_violation_carries_chain(self, tmp_path):
+        # kernel -> sim is legal and sim.helper's own import is KTAU402's
+        # problem; the *transitive* reach kernel -> analysis is KTAU602's.
+        root = self._tree(tmp_path, {
+            "kernel/use.py": "import repro.sim.helper\n",
+            "sim/helper.py": "import repro.analysis.stats\n",
+            "analysis/stats.py": ""})
+        findings = run_on(root, select=["KTAU602"])
+        assert len(findings) == 1
+        assert findings[0].path.endswith("use.py")
+        assert findings[0].line == 1
+        assert ("repro.kernel.use -> repro.sim.helper -> "
+                "repro.analysis.stats") in findings[0].message
+
+    def test_module_level_shard_state_instantiation(self, tmp_path):
+        root = self._tree(tmp_path, {
+            "sim/engine.py": "class Engine:\n    pass\n",
+            "cluster/boot.py": ("from repro.sim.engine import Engine\n"
+                                "\n"
+                                "ENGINE = Engine()\n")})
+        findings = run_on(root, select=["KTAU603"])
+        assert locations(findings) == [("KTAU603", 3)]
+        assert "repro.sim.engine" in findings[0].message
+
+    def test_reexported_shard_class_resolved(self, tmp_path):
+        # `from repro.kernel import Kernel` through the package __init__
+        # must still resolve to the defining module.
+        root = self._tree(tmp_path, {
+            "kernel/core.py": "class Kernel:\n    pass\n",
+            "kernel/__init__.py": "from repro.kernel.core import Kernel\n",
+            "cluster/boot.py": ("from repro.kernel import Kernel\n"
+                                "\n"
+                                "K = Kernel()\n")})
+        findings = run_on(root, select=["KTAU603"])
+        assert locations(findings) == [("KTAU603", 3)]
+
+    def test_construction_inside_a_function_is_fine(self, tmp_path):
+        root = self._tree(tmp_path, {
+            "sim/engine.py": "class Engine:\n    pass\n",
+            "cluster/boot.py": ("from repro.sim.engine import Engine\n"
+                                "\n"
+                                "def build():\n"
+                                "    return Engine()\n")})
+        assert run_on(root, select=["KTAU603"]) == []
+
+
+class TestContextRules:
+    def test_bad_contexts_exact_findings(self):
+        findings = run_on(FIXTURES / "bad_contexts.py")
+        assert locations(findings) == [
+            ("KTAU701", 13),  # drain's waitqueue sleep, IRQ-reachable
+            ("KTAU702", 26),  # start_task called from IRQ context
+            ("KTAU703", 31),  # generator passed as engine callback
+        ]
+        assert all(f.severity is Severity.ERROR for f in findings)
+
+    def test_messages_carry_the_witness_chain(self):
+        findings = run_on(FIXTURES / "bad_contexts.py")
+        by_rule = {f.rule_id: f.message for f in findings}
+        assert "irq_deliver -> drain" in by_rule["KTAU701"]
+        assert "'start_task'" in by_rule["KTAU702"]
+        assert "'drain'" in by_rule["KTAU703"]
+
+    def test_boundaries_and_factories_prove_clean(self):
+        # Blocking outside IRQ reach, handoff through a declared
+        # boundary, and closure factories as callbacks: no findings.
+        assert run_on(FIXTURES / "good_contexts.py") == []
+
+
 class TestSuppression:
     def test_line_suppressions_scope_to_line_and_rule(self):
         findings = run_on(FIXTURES / "suppressed.py")
@@ -171,6 +327,39 @@ class TestSuppression:
             "import time\n"
             "def a():\n"
             "    return time.time()  # ktaulint: disable=KTAU999\n")
+        assert locations(run_on(tmp_path)) == [("KTAU201", 3)]
+
+    def test_multi_rule_disable_on_one_line(self, tmp_path):
+        bad = tmp_path / "both.py"
+        bad.write_text(
+            "import random\n"
+            "import time\n"
+            "def a():\n"
+            "    return time.time() + random.random()"
+            "  # ktaulint: disable=KTAU201,KTAU202\n")
+        assert run_on(tmp_path) == []
+
+    def test_trailing_suppression_covers_wrapped_statement(self, tmp_path):
+        # The finding anchors on the statement's first line; a waiver on
+        # the closing-paren line must still cover it.
+        bad = tmp_path / "wrapped.py"
+        bad.write_text(
+            "import time\n"
+            "def a():\n"
+            "    return time.time(\n"
+            "    )  # ktaulint: disable=KTAU201\n")
+        assert run_on(tmp_path) == []
+
+    def test_interior_line_suppression_stays_line_scoped(self, tmp_path):
+        # Only the *last* line of a wrapped statement extends; a comment
+        # on an interior continuation line must not blanket the rest.
+        bad = tmp_path / "interior.py"
+        bad.write_text(
+            "import time\n"
+            "def a():\n"
+            "    return time.time(\n"
+            "        # ktaulint: disable=KTAU201\n"
+            "    )\n")
         assert locations(run_on(tmp_path)) == [("KTAU201", 3)]
 
 
@@ -224,6 +413,50 @@ class TestCli:
         assert code == 0
         assert "0 finding(s)" in capsys.readouterr().out
 
+    def test_warning_only_run_exits_three(self, capsys):
+        # KTAU303 (unwired point) is the only WARNING-severity finding
+        # in the registry fixture; selecting it alone exercises the
+        # warnings-but-no-errors exit code.
+        code = lint_main([str(FIXTURES / "bad_registry.py"),
+                          "--select=KTAU303"])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "1 finding(s)" in out
+
+    def test_sarif_format(self, capsys):
+        code = lint_main([str(FIXTURES / "bad_determinism.py"),
+                          "--format=sarif"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        results = run["results"]
+        locs = [(r["ruleId"],
+                 r["locations"][0]["physicalLocation"]["region"]["startLine"])
+                for r in results]
+        assert locs == [("KTAU201", 12), ("KTAU202", 16),
+                        ("KTAU203", 20), ("KTAU204", 25)]
+        assert all(r["level"] == "error" for r in results)
+        # Every emitted rule ID has a driver descriptor.
+        described = {d["id"] for d in run["tool"]["driver"]["rules"]}
+        assert {"KTAU201", "KTAU501", "KTAU601", "KTAU701",
+                "KTAU000"} <= described
+
+    def test_graph_out_writes_dot(self, tmp_path, capsys):
+        kdir = tmp_path / "repro" / "kernel"
+        sdir = tmp_path / "repro" / "sim"
+        kdir.mkdir(parents=True)
+        sdir.mkdir(parents=True)
+        (kdir / "a.py").write_text("import repro.sim.b\n")
+        (sdir / "b.py").write_text("")
+        out = tmp_path / "imports.dot"
+        code = lint_main([str(tmp_path), "--graph-out", str(out)])
+        capsys.readouterr()
+        assert code == 0
+        dot = out.read_text()
+        assert dot.startswith("digraph")
+        assert '"repro.kernel.a" -> "repro.sim.b";' in dot
+
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
@@ -262,3 +495,14 @@ class TestSelfCheck:
                          "obs/runtime.py"}, suppressed
         # 7 fidelity points + 2 split-phase + 2 obs wall-clock reads
         assert len(suppressed) == 11
+
+    def test_all_rule_families_registered(self):
+        from repro.lint.engine import known_rule_ids
+        ids = known_rule_ids()
+        assert {"KTAU101", "KTAU102", "KTAU103",
+                "KTAU201", "KTAU202", "KTAU203", "KTAU204",
+                "KTAU301", "KTAU302", "KTAU303", "KTAU304",
+                "KTAU401", "KTAU402",
+                "KTAU501", "KTAU502", "KTAU503", "KTAU504",
+                "KTAU601", "KTAU602", "KTAU603",
+                "KTAU701", "KTAU702", "KTAU703"} <= ids
