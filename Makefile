@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint lint-json lint-sarif lint-graph lint-report check \
-	bench bench-smoke obs-demo monitor-demo
+	bench bench-smoke obs-demo monitor-demo chaos-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,10 +27,14 @@ lint-report:
 check: lint test
 
 bench:
-	$(PYTHON) benchmarks/bench.py --out BENCH_pr6.json
+	$(PYTHON) benchmarks/bench.py --out BENCH_pr7.json
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench.py --smoke --out bench_smoke.json
+
+chaos-smoke:
+	$(PYTHON) -m repro chaos --plan kill-and-partition \
+		--alerts-out chaos_alerts.json --report-out chaos_report.json
 
 obs-demo:
 	$(PYTHON) -m repro obs --trace-out obs_demo.trace.json

@@ -20,6 +20,10 @@ artifact (``BENCH_pr4.json`` at the repo root is the committed record):
    snapshot callbacks) exists in the process, proving the monitor sits
    off the dispatch hot path; plus the honest price of monitoring an
    actual LU run (the per-period KTAUD daemon cost the paper predicts).
+5. **Fault machinery** — the churn loop and an LU run with a
+   :class:`~repro.faults.FaultInjector` armed on an *empty* plan vs
+   without, including a byte-identity check on the LU profiles: a run
+   with no faults due must be unchanged, not merely similar.
 
 Honesty note: speedup is reported next to ``cpu_count``.  On a
 single-CPU host the parallel sweep *cannot* beat serial (expect ~1x
@@ -243,6 +247,57 @@ def bench_monitor_overhead(events: int, rounds: int) -> dict:
     }
 
 
+def bench_faults_overhead(events: int, rounds: int) -> dict:
+    """Churn and LU wall time with the fault machinery detached vs armed
+    on an empty plan.
+
+    An injector with no faults schedules no engine events and installs
+    no delivery or wire hooks, so the simulation under measurement must
+    be untouched: both ``overhead_pct`` figures should be measurement
+    noise and ``lu_bit_identical_to_plain`` must be True (the armed
+    run's harvested profiles byte-compare against the plain run's).
+    """
+    from repro.faults import FaultInjector, FaultPlan
+
+    off = bench_engine_churn(events, rounds)
+    cluster = make_chiba(nnodes=4, seed=1)
+    FaultInjector(cluster, FaultPlan("bench-empty")).arm()
+    try:
+        on = bench_engine_churn(events, rounds)
+    finally:
+        cluster.teardown()
+
+    def lu_run(armed: bool) -> tuple[float, str]:
+        t0 = time.perf_counter()
+        c = make_chiba(nnodes=4, seed=1)
+        if armed:
+            FaultInjector(c, FaultPlan("bench-empty")).arm()
+        job = launch_mpi_job(c, 8, lu_app(SWEEP_LU),
+                             placement=block_placement(2, 8))
+        job.run(limit_s=600)
+        payload = profiles_to_json(harvest_job(job))
+        c.teardown()
+        return time.perf_counter() - t0, payload
+
+    plain = [lu_run(False) for _ in range(rounds)]
+    armed = [lu_run(True) for _ in range(rounds)]
+    plain_s = min(t for t, _ in plain)
+    armed_s = min(t for t, _ in armed)
+    return {
+        "events": events,
+        "rounds": rounds,
+        "mean_s_faults_off": off["mean_s"],
+        "mean_s_faults_armed": on["mean_s"],
+        "overhead_pct": 100.0 * (on["mean_s"] - off["mean_s"])
+        / off["mean_s"],
+        "lu_plain_wall_s": plain_s,
+        "lu_armed_wall_s": armed_s,
+        "lu_overhead_pct": 100.0 * (armed_s - plain_s) / plain_s,
+        "lu_bit_identical_to_plain": all(p == plain[0][1]
+                                         for _, p in armed),
+    }
+
+
 def metrics_snapshot(events: int) -> dict:
     """Harness metrics for one instrumented churn + one LU replication."""
     from repro import obs
@@ -286,6 +341,7 @@ def main(argv: list[str] | None = None) -> int:
         "obs_overhead": bench_obs_overhead(churn_events, churn_rounds),
         "monitor_overhead": bench_monitor_overhead(churn_events,
                                                    churn_rounds),
+        "faults_overhead": bench_faults_overhead(churn_events, churn_rounds),
         "metrics": metrics_snapshot(churn_events),
     }
 
@@ -296,6 +352,8 @@ def main(argv: list[str] | None = None) -> int:
             fh.write(payload + "\n")
     identical = all(run["bit_identical_to_serial"]
                     for run in result["parallel_sweep"]["workers"].values())
+    identical = identical \
+        and result["faults_overhead"]["lu_bit_identical_to_plain"]
     return 0 if identical else 1
 
 

@@ -372,6 +372,38 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Chaos harness: run an experiment under a named fault plan and
+    check the detection/recovery invariants (exit 1 on any violation)."""
+    from repro.faults.chaos import scenario_names
+
+    if args.list_plans:
+        for name in scenario_names():
+            print(name)
+        return 0
+    if args.plan not in scenario_names():
+        log.error("unknown fault plan %r; try one of: %s", args.plan,
+                  ", ".join(scenario_names()))
+        return 2
+    from repro.analysis.export import canonical_json
+    from repro.experiments.chaos import run_chaos
+
+    log.info("running %s under the %r fault plan (baseline + faulted "
+             "+ repeat) ...", args.experiment, args.plan)
+    report = run_chaos(args.plan, experiment=args.experiment,
+                       seed=args.seed)
+    print(report.describe())
+    if args.alerts_out:
+        with open(args.alerts_out, "w", encoding="utf-8") as fh:
+            fh.write(report.alerts_json)
+        log.info("wrote faulted-run monitor JSON to %s", args.alerts_out)
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            fh.write(canonical_json(report.to_doc()))
+        log.info("wrote chaos report to %s", args.report_out)
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests/completion)."""
     from repro import __version__
@@ -494,6 +526,25 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--alerts-out", metavar="FILE", default=None,
                          help="write the canonical alert log (JSON) here")
     monitor.set_defaults(func=_cmd_monitor)
+
+    chaos = add_parser("chaos",
+                       help="chaos harness: run an experiment under a "
+                            "named fault plan and check the "
+                            "detection/recovery invariants")
+    chaos.add_argument("--plan", default="kill-and-partition",
+                       help="named fault plan (see --list-plans)")
+    chaos.add_argument("--experiment", choices=("fig2", "lu"),
+                       default="fig2",
+                       help="which experiment to put under chaos")
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--list-plans", action="store_true",
+                       help="list registered fault plans and exit")
+    chaos.add_argument("--alerts-out", metavar="FILE", default=None,
+                       help="write the faulted run's canonical monitor "
+                            "JSON (the CI artifact)")
+    chaos.add_argument("--report-out", metavar="FILE", default=None,
+                       help="write the full chaos report as JSON")
+    chaos.set_defaults(func=_cmd_chaos)
 
     ktaud = add_parser("ktaud", help="run a workload under KTAUD and dump "
                                      "its periodic snapshots as JSON")

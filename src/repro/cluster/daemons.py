@@ -89,3 +89,26 @@ def start_busy_daemon(node: "Node", *, pin_cpu: int | None = None,
     task = node.kernel.spawn(behavior, comm,
                              cpus_allowed={pin_cpu} if pin_cpu is not None else None)
     node.daemons.append(task)
+
+
+def start_pressure_daemon(node: "Node", *, period_ns: int = 2 * MSEC,
+                          burst_syscalls: int = 24,
+                          comm: str = "pressured") -> "Task":
+    """A syscall-storm daemon for trace-buffer overflow pressure.
+
+    Used by the fault injector: each period it fires a burst of traced
+    syscalls, flooding its own per-task KTAU trace ring so that a
+    KTAUD drain (or any fixed reader buffer) sees genuine record loss —
+    the overflow path of the paper's bounded kernel trace buffers.
+    Returns the task so the injector can end the fault window.
+    """
+
+    def behavior(ctx):
+        while True:
+            yield from ctx.sleep(period_ns)
+            for _ in range(burst_syscalls):
+                yield from ctx.syscall("sys_getppid")
+
+    task = node.kernel.spawn(behavior, comm)
+    node.daemons.append(task)
+    return task

@@ -45,3 +45,16 @@ class ClusterNetwork:
     def connections(self):
         """Iterate ``(channel, socket)`` pairs (analysis-side flow stats)."""
         return self._conns.items()
+
+    @staticmethod
+    def install_wire_fault(kernels, hook) -> None:
+        """Install (or with ``hook=None`` remove) a wire-fault hook.
+
+        Sets :attr:`repro.kernel.net.nic.Nic.fault_hook` on every kernel
+        in ``kernels`` — the fault injector's single entry point for
+        cluster-wide packet loss, latency spikes, and partitions.  With
+        no hook installed the NIC transmit path is byte-identical to the
+        fault-free build.
+        """
+        for kernel in kernels:
+            kernel.nic.fault_hook = hook

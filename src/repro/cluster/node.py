@@ -28,6 +28,11 @@ class Node:
         #: streaming KTAUD attached by a cluster monitor (None when
         #: this node is unmonitored); set by ClusterMonitor.attach_node
         self.ktaud = None
+        #: fault injection: True while this node is crashed.  Set by the
+        #: fault injector (which also reaps the node's processes); the
+        #: wire fault hook drops frames addressed to a down node, and a
+        #: reboot fault clears it and restarts the housekeeping daemons.
+        self.down = False
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Node {self.name} cpus={self.kernel.params.online_cpus}>"

@@ -15,7 +15,10 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.libktau import LibKtau, Scope
+from repro.core.procfs import KtauProcTransientError
+from repro.core.retry import RetryPolicy
 from repro.core.wire import TaskProfileDump, TraceDump
+from repro.obs import runtime as _obs
 from repro.sim.units import MSEC, USEC
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -61,6 +64,12 @@ class Ktaud:
     #: CPU cost charged per KiB of extracted data (parse + copy).
     READ_COST_PER_KB_NS = 4 * USEC
 
+    #: Degradation policy for transient /proc/ktau failures: a few
+    #: attempts with a linear simulated-time backoff, then the period is
+    #: skipped (counted in :attr:`failed_extractions`) instead of
+    #: crashing the daemon.  Only ever exercised under fault injection.
+    RETRY = RetryPolicy(max_attempts=3, backoff_ns=5 * MSEC)
+
     def __init__(self, kernel: "Kernel", period_ns: int = 500 * MSEC,
                  pids: Optional[list[int]] = None, drain_traces: bool = False,
                  on_snapshot: Optional[Callable[["KtaudSnapshot"], None]] = None,
@@ -75,6 +84,17 @@ class Ktaud:
         self.max_snapshots = max_snapshots
         #: snapshots dropped by the retention cap (never by default).
         self.dropped = 0
+        #: fault injection: while ``engine.now`` is below this the daemon
+        #: wakes but skips extraction (a hung collector that keeps its
+        #: process alive).  Zero means healthy — one int compare per
+        #: period, so the fault hook costs nothing when detached.
+        self.suspended_until_ns = 0
+        #: periods skipped because the hang fault was active.
+        self.suspended_periods = 0
+        #: transient /proc/ktau retries performed (fault degradation).
+        self.retries = 0
+        #: periods abandoned after the retry policy was exhausted.
+        self.failed_extractions = 0
         self.lib = LibKtau(kernel.ktau_proc)
         self.snapshots: list[KtaudSnapshot] = []
         self.task: Optional["Task"] = None
@@ -92,18 +112,14 @@ class Ktaud:
     def _behavior(self, ctx):
         while True:
             yield from ctx.sleep(self.period_ns)
-            scope = Scope.ALL if self.pids is None else Scope.OTHER
-            profiles = self.lib.read_profiles(scope=scope, pids=self.pids,
-                                              include_zombies=False)
-            volume = sum(len(d.perf) * 28 + len(d.atomic) * 36
-                         for d in profiles.values())
-            snapshot = KtaudSnapshot(time_ns=ctx.now, profiles=profiles)
-            if self.drain_traces:
-                for pid in (self.pids if self.pids is not None else list(profiles)):
-                    dump = self.lib.read_trace(pid)
-                    if dump.records or dump.lost:
-                        snapshot.traces[pid] = dump
-                        volume += len(dump.records) * 21
+            if ctx.now < self.suspended_until_ns:
+                # Hung by fault injection: awake but doing no work.
+                self.suspended_periods += 1
+                continue
+            extraction = yield from self._extract(ctx)
+            if extraction is None:
+                continue  # retry policy exhausted; skip this period
+            snapshot, volume = extraction
             self.snapshots.append(snapshot)
             if self.max_snapshots is not None \
                     and len(self.snapshots) > self.max_snapshots:
@@ -114,6 +130,45 @@ class Ktaud:
             # Extraction work is real CPU time on the monitored node.
             cost = max(20 * USEC, (volume * self.READ_COST_PER_KB_NS) // 1024)
             yield from ctx.compute(cost)
+
+    def _extract(self, ctx):
+        """One extraction attempt with bounded transient-fault retry.
+
+        A generator (it sleeps simulated backoff time between attempts):
+        returns ``(snapshot, volume)`` on success or ``None`` when the
+        :attr:`RETRY` policy is exhausted — the daemon then skips the
+        period instead of dying, which is the degradation contract the
+        cluster monitor's staleness tracking is built on.
+        """
+        scope = Scope.ALL if self.pids is None else Scope.OTHER
+        for attempt in range(1, self.RETRY.max_attempts + 1):
+            try:
+                profiles = self.lib.read_profiles(scope=scope, pids=self.pids,
+                                                  include_zombies=False)
+                volume = sum(len(d.perf) * 28 + len(d.atomic) * 36
+                             for d in profiles.values())
+                snapshot = KtaudSnapshot(time_ns=ctx.now, profiles=profiles)
+                if self.drain_traces:
+                    for pid in (self.pids if self.pids is not None
+                                else list(profiles)):
+                        dump = self.lib.read_trace(pid)
+                        if dump.records or dump.lost:
+                            snapshot.traces[pid] = dump
+                            volume += len(dump.records) * 21
+                return snapshot, volume
+            except KtauProcTransientError:
+                if attempt >= self.RETRY.max_attempts:
+                    self.failed_extractions += 1
+                    if _obs.metrics_on:
+                        from repro.obs.metrics import REGISTRY
+                        REGISTRY.counter("collect.failures").inc()
+                    return None
+                self.retries += 1
+                if _obs.metrics_on:
+                    from repro.obs.metrics import REGISTRY
+                    REGISTRY.counter("collect.retries").inc()
+                yield from ctx.sleep(self.RETRY.backoff_for(attempt))
+        return None  # pragma: no cover - loop always returns
 
     # ------------------------------------------------------------------
     def profile_series(self, pid: int, event: str) -> list[tuple[int, int]]:

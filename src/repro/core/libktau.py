@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.core.procfs import KtauProcFS
 from repro.core.points import Group
+from repro.core.retry import DEFAULT_POLICY, RetryPolicy, grow_and_retry, sized_read
 from repro.core.wire import TaskProfileDump, TraceDump, unpack_profiles, unpack_trace
 
 
@@ -44,12 +45,14 @@ class LibKtau:
     """
 
     #: How many times the size/read loop retries before giving up when the
-    #: profile keeps growing between calls.
-    MAX_RETRIES = 8
+    #: profile keeps growing between calls (mirrors the default policy).
+    MAX_RETRIES = DEFAULT_POLICY.max_attempts
 
-    def __init__(self, proc: KtauProcFS, self_pid: Optional[int] = None):
+    def __init__(self, proc: KtauProcFS, self_pid: Optional[int] = None,
+                 retry: RetryPolicy = DEFAULT_POLICY):
         self._proc = proc
         self._self_pid = self_pid
+        self._retry = retry
 
     # ------------------------------------------------------------------
     # data retrieval
@@ -70,30 +73,35 @@ class LibKtau:
                       include_zombies: bool = False) -> dict[int, TaskProfileDump]:
         """Retrieve and decode profiles, handling the size/read race.
 
-        Implements the documented two-call protocol: get the size, allocate
-        a buffer, read; if the kernel reports the data outgrew the buffer,
-        retry with the new size.
+        Implements the documented two-call protocol via the shared
+        :func:`repro.core.retry.grow_and_retry` helper: get the size,
+        allocate a buffer, read; if the kernel reports the data outgrew
+        the buffer, retry with the new size, up to the bound of the
+        policy this handle was built with
+        (:class:`~repro.core.retry.RetryExhaustedError` on exhaustion).
         """
         want = self._scope_pids(scope, pids)
-        bufsize = self._proc.profile_size(want, include_zombies=include_zombies)
-        for _ in range(self.MAX_RETRIES):
-            data, full = self._proc.profile_read(bufsize, want,
-                                                 include_zombies=include_zombies)
-            if len(data) >= full:
-                return unpack_profiles(data)
-            bufsize = full  # grew between calls; retry with the larger size
-        raise RuntimeError("profile kept growing; size/read retry limit hit")
+        data = grow_and_retry(
+            lambda: self._proc.profile_size(want,
+                                            include_zombies=include_zombies),
+            lambda bufsize: self._proc.profile_read(
+                bufsize, want, include_zombies=include_zombies),
+            self._retry, what="ktau profile read")
+        return unpack_profiles(data)
 
     def read_trace(self, pid: int, bufsize: Optional[int] = None) -> TraceDump:
         """Drain and decode ``pid``'s kernel trace buffer.
 
-        Unlike profiles the drain is destructive, so there is no retry: the
-        caller sizes the buffer first (or passes one big enough) and any
-        overflow is genuinely lost.
+        Unlike profiles the drain is destructive, so there is no retry:
+        the shared :func:`repro.core.retry.sized_read` helper sizes the
+        buffer (unless the caller passed one) and reads once; any
+        overflow is genuinely lost and surfaced via the dump.
         """
         if bufsize is None:
-            bufsize = self._proc.trace_size(pid)
-        data, full = self._proc.trace_read(pid, bufsize)
+            data, full = sized_read(lambda: self._proc.trace_size(pid),
+                                    lambda n: self._proc.trace_read(pid, n))
+        else:
+            data, full = self._proc.trace_read(pid, bufsize)
         if not data:
             return TraceDump(pid=pid, lost=0)
         dump = unpack_trace(data) if len(data) >= full else unpack_trace(data[:full])

@@ -19,6 +19,15 @@ from repro.core.measurement import Ktau
 from repro.core import wire
 
 
+class KtauProcTransientError(RuntimeError):
+    """A /proc/ktau call failed transiently (an ``-EAGAIN`` analog).
+
+    Raised only while a fault injector holds :attr:`KtauProcFS.failing`
+    up; clients (KTAUD) are expected to retry with backoff under a
+    :class:`~repro.core.retry.RetryPolicy` rather than crash.
+    """
+
+
 class KtauProcFS:
     """In-simulation stand-in for the two /proc/ktau files.
 
@@ -30,6 +39,16 @@ class KtauProcFS:
 
     def __init__(self, ktau: Ktau):
         self._ktau = ktau
+        #: fault-injection switch: while True every data call raises
+        #: :class:`KtauProcTransientError`.  Flipped by scheduled engine
+        #: events (:mod:`repro.faults`), never read from wall clocks, so
+        #: faulted runs stay deterministic.  Always False when no fault
+        #: plan is armed — the check is a single attribute test.
+        self.failing = False
+
+    def _check_transient(self) -> None:
+        if self.failing:
+            raise KtauProcTransientError("/proc/ktau transiently unavailable")
 
     # ------------------------------------------------------------------
     # /proc/ktau/profile
@@ -41,6 +60,7 @@ class KtauProcFS:
         The value is only advisory — the profile may grow before the
         subsequent read.
         """
+        self._check_transient()
         snap = self._ktau.snapshot(pids, include_zombies=include_zombies)
         return len(wire.pack_profiles(snap, self._ktau.registry))
 
@@ -52,6 +72,7 @@ class KtauProcFS:
         truncated read (the profile grew since the size call) and the
         client must retry.
         """
+        self._check_transient()
         snap = self._ktau.snapshot(pids, include_zombies=include_zombies)
         packed = wire.pack_profiles(snap, self._ktau.registry)
         return packed[:bufsize], len(packed)
@@ -61,6 +82,7 @@ class KtauProcFS:
     # ------------------------------------------------------------------
     def trace_size(self, pid: int) -> int:
         """Packed size of ``pid``'s currently buffered trace records."""
+        self._check_transient()
         data = self._task_data(pid)
         if data is None or data.trace is None:
             return 0
@@ -75,6 +97,7 @@ class KtauProcFS:
         the buffer are lost, as with any fixed buffer handed to the kernel.
         The full size is returned so clients can detect the loss.
         """
+        self._check_transient()
         data = self._task_data(pid)
         if data is None or data.trace is None:
             return b"", 0

@@ -101,34 +101,62 @@ def run_chiba_app(config: ChibaConfig, app_name: str, params,
     """
     with obs.span(f"chiba:{config.label}:{app_name}:seed{config.seed}",
                   "experiment", nranks=config.nranks):
-        data, _monitor, _timeline = _run_chiba_app(config, app_name, params,
-                                                   limit_s)
+        data, _monitor, _timeline, _injected = _run_chiba_app(
+            config, app_name, params, limit_s)
         return data
 
 
 def run_monitored_chiba_app(config: ChibaConfig, app_name: str, params,
                             monitor_config: MonitorConfig,
-                            limit_s: float = 3600.0
+                            limit_s: float = 3600.0,
+                            fault_plan=None, spare_nodes: int = 0
                             ) -> tuple[JobData, MonitorData, str]:
     """Run one configuration under the online cluster monitor.
 
     Same run machinery as :func:`run_chiba_app`, plus one streaming
     KTAUD per used node; returns the harvested job data, the monitor
     harvest, and the integrated user/kernel timeline JSON.
+
+    ``spare_nodes`` adds monitored rank-free nodes past the placement
+    and ``fault_plan`` arms a fault plan after launch (the chaos
+    harness's knobs; both default off and change nothing when off).
     """
     with obs.span(f"chiba:{config.label}:{app_name}:seed{config.seed}:mon",
                   "experiment", nranks=config.nranks):
-        data, monitor, timeline = _run_chiba_app(config, app_name, params,
-                                                 limit_s, monitor_config)
+        data, monitor, timeline, _injected = _run_chiba_app(
+            config, app_name, params, limit_s, monitor_config,
+            fault_plan=fault_plan, spare_nodes=spare_nodes)
         assert monitor is not None and timeline is not None
         return data, monitor, timeline
 
 
+def run_chaos_chiba_app(config: ChibaConfig, app_name: str, params,
+                        monitor_config: MonitorConfig,
+                        fault_plan=None, spare_nodes: int = 0,
+                        limit_s: float = 3600.0
+                        ) -> tuple[JobData, MonitorData, list]:
+    """Monitored run variant for the chaos harness.
+
+    Like :func:`run_monitored_chiba_app` but returns the applied-fault
+    log instead of the timeline (the chaos report wants to show what
+    actually fired, in order).
+    """
+    with obs.span(f"chaos:{config.label}:{app_name}:seed{config.seed}",
+                  "experiment", nranks=config.nranks):
+        data, monitor, _timeline, injected = _run_chiba_app(
+            config, app_name, params, limit_s, monitor_config,
+            fault_plan=fault_plan, spare_nodes=spare_nodes)
+        assert monitor is not None
+        return data, monitor, injected
+
+
 def _run_chiba_app(config: ChibaConfig, app_name: str, params,
                    limit_s: float,
-                   monitor_config: Optional[MonitorConfig] = None
-                   ) -> tuple[JobData, Optional[MonitorData], Optional[str]]:
-    nnodes_used = config.nranks // config.procs_per_node
+                   monitor_config: Optional[MonitorConfig] = None,
+                   fault_plan=None, spare_nodes: int = 0
+                   ) -> tuple[JobData, Optional[MonitorData],
+                              Optional[str], list]:
+    nnodes_used = config.nranks // config.procs_per_node + spare_nodes
     anomaly_nodes = (ANOMALY_NODE,) if config.anomaly else ()
     if config.anomaly and config.procs_per_node == 1:
         raise ValueError("the anomaly experiment is a 2-per-node configuration")
@@ -162,6 +190,17 @@ def _run_chiba_app(config: ChibaConfig, app_name: str, params,
         tau_enabled=config.tau_enabled,
         tau_tracing=config.tau_tracing, comm_prefix=app_name,
         node_setup=monitor.attach_node if monitor else None)
+    if monitor is not None:
+        # Spare nodes host no ranks, so the launcher's node_setup hook
+        # never saw them; monitor them too.
+        for node in cluster.nodes:
+            if node.name not in monitor.node_hz:
+                monitor.attach_node(node)
+    injector = None
+    if fault_plan is not None:
+        from repro.faults.injector import FaultInjector
+        injector = FaultInjector(cluster, fault_plan, monitor=monitor)
+        injector.arm()
     job.run(limit_s=limit_s)
     data = harvest_job(job)
     monitor_data = None
@@ -170,4 +209,4 @@ def _run_chiba_app(config: ChibaConfig, app_name: str, params,
         monitor_data = monitor.harvest()
         timeline = integrated_timeline(monitor_data, job)
     cluster.teardown()
-    return data, monitor_data, timeline
+    return data, monitor_data, timeline, injector.injected if injector else []

@@ -64,10 +64,13 @@ class Fig2ABResult:
     monitor: Optional[MonitorData] = None
     #: integrated user/kernel Chrome-trace JSON for the monitored run
     timeline: Optional[str] = None
+    #: applied-fault log when the run was faulted (else None)
+    injected: Optional[list] = None
 
 
 def run_fig2ab(seed: int = 1,
-               monitor_config: Optional[MonitorConfig] = None) -> Fig2ABResult:
+               monitor_config: Optional[MonitorConfig] = None,
+               fault_plan=None, spare_nodes: int = 0) -> Fig2ABResult:
     """16-rank LU over 8 dual-CPU nodes, interference on node 7.
 
     With ``monitor_config`` the run happens under an online
@@ -75,8 +78,15 @@ def run_fig2ab(seed: int = 1,
     through the launcher's ``node_setup`` hook): the result then carries
     the harvested monitor data — whose alerts should point at exactly
     the perturbed node — and the integrated user/kernel timeline.
+
+    ``spare_nodes`` adds rank-free nodes past the placement (monitored
+    like the rest) and ``fault_plan`` arms a
+    :class:`~repro.faults.plan.FaultPlan` against the cluster after
+    launch — the chaos harness targets the spares so node-scoped faults
+    cannot propagate through LU's messages.  Both default off, leaving
+    the run byte-identical to the historical experiment.
     """
-    cluster = make_chiba(nnodes=8, seed=seed)
+    cluster = make_chiba(nnodes=8 + spare_nodes, seed=seed)
     node = cluster.nodes[PERTURBED_NODE_INDEX]
     # The paper's anomaly: sleep, then a CPU-intensive busy loop, scaled
     # to our run length (the paper uses 10 s sleep / 3 s busy).
@@ -90,6 +100,17 @@ def run_fig2ab(seed: int = 1,
     job = launch_mpi_job(cluster, 16, lu_app(CONTROLLED_LU),
                          placement=block_placement(2, 16), comm_prefix="lu",
                          node_setup=monitor.attach_node if monitor else None)
+    if monitor is not None:
+        # Spare nodes host no ranks, so the launcher's node_setup hook
+        # never saw them; monitor them too.
+        for spare in cluster.nodes:
+            if spare.name not in monitor.node_hz:
+                monitor.attach_node(spare)
+    injector = None
+    if fault_plan is not None:
+        from repro.faults.injector import FaultInjector
+        injector = FaultInjector(cluster, fault_plan, monitor=monitor)
+        injector.arm()
     job.run(limit_s=600)
     data = harvest_job(job)
     monitor_data = None
@@ -115,7 +136,8 @@ def run_fig2ab(seed: int = 1,
                         sched_by_node=sched_by_node,
                         invol_by_node=invol_by_node,
                         node_processes=processes,
-                        monitor=monitor_data, timeline=timeline)
+                        monitor=monitor_data, timeline=timeline,
+                        injected=injector.injected if injector else None)
 
 
 # ---------------------------------------------------------------------------

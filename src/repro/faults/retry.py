@@ -1,0 +1,22 @@
+"""Shared retry policy for degraded collection paths.
+
+The actual implementation lives in :mod:`repro.core.retry` — the core
+collection clients (``LibKtau``, KTAUD) depend on it, and ``core`` must
+not import upward into this package.  This module re-exports the public
+surface so fault-handling code reads naturally::
+
+    from repro.faults.retry import RetryPolicy, grow_and_retry
+"""
+
+from __future__ import annotations
+
+from repro.core.retry import (DEFAULT_POLICY, RetryExhaustedError,
+                              RetryPolicy, grow_and_retry, sized_read)
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "grow_and_retry",
+    "sized_read",
+]

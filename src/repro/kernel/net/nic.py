@@ -38,6 +38,16 @@ class Nic:
         self.tx_bytes_total = 0
         self.tx_groups_total = 0
         self.rx_bytes_total = 0
+        #: wire fault hook (:mod:`repro.faults`): called per frame group
+        #: as ``hook(src_kernel, dst_kernel, nbytes) -> Optional[int]``
+        #: and returns extra delivery delay in ns (loss/retransmission,
+        #: latency spikes, partitions) or ``None`` to drop the group at
+        #: the wire (destination crashed).  ``None`` hook = healthy link:
+        #: the transmit path pays one ``is not None`` test and nothing
+        #: else, keeping fault-free runs byte-identical.
+        self.fault_hook = None
+        #: frame groups dropped at the wire by the fault hook.
+        self.dropped_groups = 0
 
     def transmit_group(self, sock: "StreamSocket", segments: list[int]) -> None:
         """Queue a group of segments for transmission on ``sock``.
@@ -62,6 +72,16 @@ class Nic:
 
         latency = self.kernel.params.net.latency_ns
         dst = sock.dst_kernel
+        if self.fault_hook is not None:
+            verdict = self.fault_hook(self.kernel, dst, nbytes)
+            if verdict is None:
+                # Dropped at the wire: the sender's buffer was released
+                # above (it cannot see the loss), the receiver never
+                # hears the bytes — a half-open stall, as on a real
+                # crashed peer.
+                self.dropped_groups += 1
+                return
+            latency += verdict
 
         def on_first_byte() -> None:
             # Receive-side serialisation: the destination's single

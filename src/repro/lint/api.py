@@ -49,9 +49,14 @@ LAYER_DEPS: dict[str, set[str]] = {
     # through the opaque node_setup hook).
     "monitor": {"analysis", "cluster", "core", "kernel", "obs", "sim",
                 "tau"},
-    "experiments": {"analysis", "cluster", "core", "kernel", "monitor",
-                    "obs", "oprofile", "parallel", "sim", "tau",
-                    "workloads"},
+    # Fault injection reaches into everything it faults (cluster, the
+    # kernel's NIC, the monitor's delivery path) but stays below the
+    # experiments that arm plans — the chaos *runner* lives up in
+    # repro.experiments so this package never imports run machinery.
+    "faults": {"cluster", "core", "kernel", "monitor", "obs", "sim"},
+    "experiments": {"analysis", "cluster", "core", "faults", "kernel",
+                    "monitor", "obs", "oprofile", "parallel", "sim",
+                    "tau", "workloads"},
     # The replication runner only moves opaque payloads between
     # processes; it must know nothing about what a replication computes
     # (obs is content-blind, so publishing timings keeps that true).

@@ -37,7 +37,7 @@ from repro.lint.engine import Rule, SourceFile, register
 from repro.lint.findings import Finding
 
 SCOPE = ("repro.sim", "repro.kernel", "repro.core", "repro.parallel",
-         "repro.obs", "repro.monitor")
+         "repro.obs", "repro.monitor", "repro.faults")
 
 #: (penultimate, last) dotted-name components of banned wall-clock calls.
 _WALL_CLOCK = {

@@ -40,8 +40,9 @@ and parallel execution, which ``tests/test_determinism.py`` asserts.
 
 from __future__ import annotations
 
-from repro.monitor.alerts import (INTERFERENCE, NODE_OUTLIER, Alert,
-                                  alerts_to_doc)
+from repro.monitor.alerts import (HEALTH_KINDS, INTERFERENCE, NODE_LOST,
+                                  NODE_OUTLIER, NODE_RECOVERED, NODE_STALE,
+                                  Alert, alerts_to_doc)
 from repro.monitor.cluster_monitor import (ClusterMonitor, MonitorConfig,
                                            MonitorData, monitor_data_to_json)
 from repro.monitor.dashboard import render_dashboard
@@ -53,10 +54,14 @@ from repro.monitor.timeline import integrated_timeline
 __all__ = [
     "Alert",
     "ClusterMonitor",
+    "HEALTH_KINDS",
     "INTERFERENCE",
     "MonitorConfig",
     "MonitorData",
+    "NODE_LOST",
     "NODE_OUTLIER",
+    "NODE_RECOVERED",
+    "NODE_STALE",
     "NodeInterval",
     "RingSeries",
     "SeriesStore",

@@ -1,6 +1,6 @@
 """Typed alerts emitted by the online detectors.
 
-Two kinds, matching the two questions the paper's views answer:
+Two detector kinds, matching the two questions the paper's views answer:
 
 * ``node_outlier`` (:data:`NODE_OUTLIER`) — one node's per-interval
   value of a watched kernel event sits far outside the cluster's
@@ -9,6 +9,17 @@ Two kinds, matching the two questions the paper's views answer:
   on one node did enough kernel-visible work in one interval to matter
   (Figure 2-B / Figure 7: "which process is responsible — and is it a
   real daemon or an intruder?").
+
+Three collection-health kinds, the degraded-operation states a live
+cluster monitor needs (KTAUD is a daemon on a real node: it hangs, its
+node crashes, its reports get partitioned away):
+
+* ``node_stale`` (:data:`NODE_STALE`) — a node's snapshot stream has
+  gone quiet past the staleness threshold.
+* ``node_lost`` (:data:`NODE_LOST`) — quiet past the loss threshold;
+  the monitor stops waiting for it when closing intervals.
+* ``node_recovered`` (:data:`NODE_RECOVERED`) — a stale/lost node's
+  snapshots resumed; its interval stream is realigned.
 
 Alerts are frozen dataclasses with a canonical JSON form so monitored
 runs can be byte-compared across serial and parallel execution.
@@ -26,6 +37,18 @@ NODE_OUTLIER = "node_outlier"
 
 #: A non-application process with significant interval activity.
 INTERFERENCE = "interference"
+
+#: A node whose snapshot stream went quiet past the staleness threshold.
+NODE_STALE = "node_stale"
+
+#: A node quiet past the loss threshold; intervals close without it.
+NODE_LOST = "node_lost"
+
+#: A stale/lost node resumed reporting and was realigned.
+NODE_RECOVERED = "node_recovered"
+
+#: The collection-health kinds (metric is always ``"health"``).
+HEALTH_KINDS = (NODE_STALE, NODE_LOST, NODE_RECOVERED)
 
 
 @dataclass(frozen=True)
@@ -52,6 +75,11 @@ class Alert:
     def describe(self) -> str:
         """One human-readable line for dashboards and logs."""
         t = self.time_ns / SEC
+        if self.kind in HEALTH_KINDS:
+            state = self.kind.removeprefix("node_")
+            return (f"[{t:9.3f}s] {self.node}: {state} — silent "
+                    f"{self.value_s * 1e3:.0f} ms "
+                    f"({self.score:.1f} extraction periods)")
         if self.kind == INTERFERENCE:
             return (f"[{t:9.3f}s] {self.node}: interference by "
                     f"{self.comm}({self.pid}) — {self.value_s * 1e3:.1f} ms "

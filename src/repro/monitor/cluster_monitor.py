@@ -4,9 +4,18 @@
 (:class:`~repro.core.clients.ktaud.Ktaud` with an ``on_snapshot``
 callback and a small retention cap), turns each snapshot into a
 :class:`~repro.monitor.intervals.NodeInterval`, feeds bounded time
-series, and — whenever all nodes have reported interval *k* — runs the
-cross-node MAD detector plus the per-node interference check and
-appends typed alerts.
+series, and — whenever every *live* node has reported interval *k* —
+runs the cross-node MAD detector plus the per-node interference check
+and appends typed alerts.
+
+Collection is allowed to degrade: per-node staleness tracking turns a
+quiet snapshot stream into ``NODE_STALE`` / ``NODE_LOST`` /
+``NODE_RECOVERED`` alerts, intervals close as *partial* cluster views
+once a node stops reporting (or when the reporting frontier leaves a
+bucket behind), and a recovered node's interval stream is realigned
+instead of crashing the pipeline.  On a fault-free run none of this
+machinery fires and the behaviour is exactly the historical all-nodes
+rule — byte-identical output, as the determinism tests assert.
 
 The daemons are real simulated processes: their extraction reads cost
 CPU on the monitored nodes, so monitoring perturbs the application
@@ -30,13 +39,14 @@ from repro.analysis.export import canonical_json
 from repro.analysis.views import interval_view
 from repro.core.clients.ktaud import Ktaud, KtaudSnapshot
 from repro.core.points import SCHED_INVOLUNTARY_POINT
-from repro.monitor.alerts import (INTERFERENCE, NODE_OUTLIER, Alert,
+from repro.monitor.alerts import (INTERFERENCE, NODE_LOST, NODE_OUTLIER,
+                                  NODE_RECOVERED, NODE_STALE, Alert,
                                   alerts_to_doc, sort_key)
 from repro.monitor.detect import flag_outliers
 from repro.monitor.intervals import NodeInterval
 from repro.monitor.series import SeriesStore
 from repro.obs import runtime as _obs
-from repro.sim.units import MSEC
+from repro.sim.units import MSEC, SEC
 
 import statistics
 
@@ -92,6 +102,19 @@ class MonitorConfig:
     #: per-node KTAUD snapshot retention (the monitor differences
     #: consecutive snapshots online, so two is enough; ``None`` hoards).
     max_snapshots: Optional[int] = 2
+    #: a node silent for this many extraction periods is ``NODE_STALE``.
+    #: Healthy inter-snapshot gaps are barely over one period, so the
+    #: default never fires on a fault-free run.
+    stale_after_periods: float = 2.5
+    #: ...and for this many is ``NODE_LOST``: intervals close without it.
+    lost_after_periods: float = 6.0
+    #: a pending interval is force-closed (partial view) once the newest
+    #: reported interval is this far ahead of it.
+    bucket_lag: int = 2
+    #: intervals longer than this many periods (outage spans after a
+    #: recovery realignment) are excluded from cross-node outlier
+    #: comparison — their per-interval values are not comparable.
+    max_interval_periods: float = 1.6
 
 
 @dataclass
@@ -111,6 +134,12 @@ class MonitorData:
     #: node -> metric -> retained (time_ns, value_s) points
     series: dict[str, dict[str, list[tuple[int, float]]]] = field(default_factory=dict)
     alerts: list[Alert] = field(default_factory=list)
+    #: final health per node: ``live`` / ``stale`` / ``lost``.
+    node_health: dict[str, str] = field(default_factory=dict)
+    #: snapshots suppressed by a collection-fault delivery filter.
+    dropped_deliveries: int = 0
+    #: interval streams realigned after a node recovered.
+    realigned: int = 0
 
     def alert_nodes(self, kind: Optional[str] = None) -> list[str]:
         """Sorted distinct nodes with alerts (optionally of one kind)."""
@@ -134,6 +163,9 @@ class MonitorData:
                               for metric, points in metrics.items()}
                        for node, metrics in self.series.items()},
             "alerts": alerts_to_doc(self.alerts),
+            "node_health": dict(self.node_health),
+            "dropped_deliveries": self.dropped_deliveries,
+            "realigned": self.realigned,
         }
 
 
@@ -166,10 +198,24 @@ class ClusterMonitor:
         self.node_boot_offset: dict[str, int] = {}
         self.snapshots_seen = 0
         self.intervals_done = 0
+        #: collection-fault hook (:mod:`repro.faults`): called as
+        #: ``filter(node_name, snapshot) -> bool`` before a snapshot is
+        #: consumed; ``False`` suppresses the delivery (the report was
+        #: partitioned away), exercising the staleness machinery without
+        #: perturbing any simulated state.  ``None`` = deliver all.
+        self.delivery_filter = None
+        #: deliveries suppressed by :attr:`delivery_filter`.
+        self.dropped_deliveries = 0
+        #: interval streams realigned after a stale/lost node recovered.
+        self.realigned = 0
         self._start_ns: dict[str, int] = {}
         self._prev: dict[str, KtaudSnapshot] = {}
         self._next_index: dict[str, int] = {}
         self._buckets: dict[int, dict[str, NodeInterval]] = {}
+        self._last_seen_ns: dict[str, int] = {}
+        self._health: dict[str, str] = {}
+        self._frontier = 0
+        self._max_closed = -1
 
     # -- attachment ------------------------------------------------------
     def attach(self) -> None:
@@ -182,6 +228,30 @@ class ClusterMonitor:
         name = node.name
         if name in self.node_hz:
             raise ValueError(f"node {name!r} is already monitored")
+        self._start_daemon(node)
+        self.node_names.append(name)
+        self.node_hz[name] = node.kernel.clock.hz
+        self.node_boot_offset[name] = node.kernel.clock.boot_offset_cycles
+        self._start_ns[name] = self.cluster.engine.now
+        self._next_index[name] = 0
+        self._last_seen_ns[name] = self.cluster.engine.now
+        self._health[name] = "live"
+
+    def restart_ktaud(self, node: "Node") -> None:
+        """Start a fresh KTAUD on an already-monitored node.
+
+        The reboot path of the fault injector: the node's previous
+        daemon died with the crash; its replacement resumes the snapshot
+        stream and the recovery machinery realigns the interval stream.
+        The differencing base is kept — the first post-reboot interval
+        spans the outage and is excluded from cross-node comparison.
+        """
+        if node.name not in self.node_hz:
+            raise ValueError(f"node {node.name!r} is not monitored")
+        self._start_daemon(node)
+
+    def _start_daemon(self, node: "Node") -> None:
+        name = node.name
 
         def on_snapshot(snap: KtaudSnapshot, _name: str = name) -> None:
             self._on_snapshot(_name, snap)
@@ -192,11 +262,6 @@ class ClusterMonitor:
         daemon.start()
         node.ktaud = daemon
         self.daemons.append(daemon)
-        self.node_names.append(name)
-        self.node_hz[name] = node.kernel.clock.hz
-        self.node_boot_offset[name] = node.kernel.clock.boot_offset_cycles
-        self._start_ns[name] = self.cluster.engine.now
-        self._next_index[name] = 0
 
     def stop(self) -> None:
         """Kill the monitor daemons (e.g. before reusing the cluster)."""
@@ -205,14 +270,34 @@ class ClusterMonitor:
 
     # -- the stream ------------------------------------------------------
     def _on_snapshot(self, name: str, snap: KtaudSnapshot) -> None:
-        """One node reported: build its interval, maybe close a bucket."""
+        """One node reported: build its interval, maybe close buckets."""
+        if self.delivery_filter is not None \
+                and not self.delivery_filter(name, snap):
+            # The report was partitioned away before reaching the
+            # monitor.  The node keeps extracting (and paying CPU); the
+            # monitor just stops hearing from it and the staleness
+            # machinery takes over.
+            self.dropped_deliveries += 1
+            if _obs.metrics_on:
+                from repro.obs.metrics import REGISTRY
+                REGISTRY.counter("monitor.dropped_deliveries").inc()
+            self._check_health(snap.time_ns)
+            return
         self.snapshots_seen += 1
+        self._note_alive(name, snap.time_ns)
         prev = self._prev.get(name)
         start_ns = prev.time_ns if prev is not None else self._start_ns[name]
         deltas = interval_view(prev.profiles if prev is not None else None,
                                snap.profiles)
         comms = {pid: dump.comm for pid, dump in snap.profiles.items()}
         index = self._next_index[name]
+        if index <= self._max_closed:
+            # The node fell behind closed intervals (outage, recovery):
+            # realign its stream to the first still-open interval.  The
+            # realigned interval spans the whole gap, so _detect excludes
+            # it from cross-node comparison by length.
+            index = self._max_closed + 1
+            self.realigned += 1
         self._next_index[name] = index + 1
         self._prev[name] = snap
         interval = NodeInterval(node=name, index=index, start_ns=start_ns,
@@ -229,9 +314,91 @@ class ClusterMonitor:
             REGISTRY.counter("monitor.snapshots").inc()
         bucket = self._buckets.setdefault(index, {})
         bucket[name] = interval
-        if len(bucket) == len(self.node_names):
-            del self._buckets[index]
-            self._detect(index, bucket)
+        if index > self._frontier:
+            self._frontier = index
+        self._check_health(snap.time_ns)
+        self._maybe_close(index)
+        self._close_lagged()
+
+    # -- collection health -----------------------------------------------
+    def _note_alive(self, name: str, now_ns: int) -> None:
+        """A delivery arrived from ``name``: recover it if it was quiet."""
+        if self._health[name] != "live":
+            silent = now_ns - self._last_seen_ns[name]
+            self._health[name] = "live"
+            self._append_health(NODE_RECOVERED, name, now_ns, silent)
+            if _obs.metrics_on:
+                from repro.obs.metrics import REGISTRY
+                REGISTRY.counter("monitor.nodes_recovered").inc()
+        self._last_seen_ns[name] = now_ns
+
+    def _check_health(self, now_ns: int) -> None:
+        """Advance staleness state for every node, driven by sim time.
+
+        Called on each delivery, so transitions are evaluated roughly
+        once per period per live node; if the *entire* cluster goes
+        silent no further deliveries arrive and no transition fires —
+        the monitor is an observer, it schedules no events of its own.
+        """
+        cfg = self.config
+        stale_ns = int(cfg.stale_after_periods * cfg.period_ns)
+        lost_ns = int(cfg.lost_after_periods * cfg.period_ns)
+        for node in self.node_names:
+            health = self._health[node]
+            if health == "lost":
+                continue
+            silent = now_ns - self._last_seen_ns[node]
+            if silent >= lost_ns:
+                self._health[node] = "lost"
+                self._append_health(NODE_LOST, node, now_ns, silent)
+                if _obs.metrics_on:
+                    from repro.obs.metrics import REGISTRY
+                    REGISTRY.counter("monitor.nodes_lost").inc()
+            elif silent >= stale_ns and health == "live":
+                self._health[node] = "stale"
+                self._append_health(NODE_STALE, node, now_ns, silent)
+                if _obs.metrics_on:
+                    from repro.obs.metrics import REGISTRY
+                    REGISTRY.counter("monitor.nodes_stale").inc()
+
+    def _append_health(self, kind: str, node: str, now_ns: int,
+                       silent_ns: int) -> None:
+        period = self.config.period_ns
+        self.alerts.append(Alert(
+            kind=kind, interval=self._frontier, time_ns=now_ns, node=node,
+            metric="health", value_s=silent_ns / SEC,
+            baseline_s=period / SEC, score=silent_ns / period))
+
+    # -- interval closing ------------------------------------------------
+    def _maybe_close(self, index: int) -> None:
+        """Close ``index`` if every *live* node has reported it.
+
+        With the whole cluster healthy this is exactly the historical
+        all-nodes rule; quiet nodes stop holding intervals open once the
+        staleness machinery marks them, which is what keeps partial
+        cluster views flowing during an outage.
+        """
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            return
+        live = [n for n in self.node_names if self._health[n] == "live"]
+        if live and all(n in bucket for n in live):
+            self._close(index)
+
+    def _close_lagged(self) -> None:
+        """Force-close pending intervals the frontier has left behind."""
+        limit = self._frontier - self.config.bucket_lag
+        for index in sorted(self._buckets):
+            if index <= limit:
+                self._close(index)
+            else:
+                break
+
+    def _close(self, index: int) -> None:
+        bucket = self._buckets.pop(index)
+        if index > self._max_closed:
+            self._max_closed = index
+        self._detect(index, bucket)
 
     # -- detection -------------------------------------------------------
     def _is_app(self, comm: str) -> bool:
@@ -239,22 +406,35 @@ class ClusterMonitor:
                    for prefix in self.config.app_prefixes)
 
     def _detect(self, index: int, bucket: dict[str, NodeInterval]) -> None:
-        """All nodes reported interval ``index``: run the detectors."""
+        """Interval ``index`` closed: run the detectors on whoever reported.
+
+        The bucket holds every node that delivered this interval — all of
+        them on a healthy cluster, a partial view during an outage.
+        Cross-node comparison uses only intervals of normal length;
+        realigned post-recovery intervals span a whole outage and their
+        per-interval values are not comparable.
+        """
         cfg = self.config
         nalerts = 0
         nodes = sorted(bucket)
+        period_s = cfg.period_ns / SEC
+        comparable = [node for node in nodes
+                      if bucket[node].wall_s
+                      <= cfg.max_interval_periods * period_s]
         outlier_nodes: set[str] = set()
-        if len(nodes) >= cfg.min_nodes:
+        if len(comparable) >= cfg.min_nodes:
             for event in cfg.watch_events:
-                values = [bucket[node].event_excl_s(event) for node in nodes]
+                values = [bucket[node].event_excl_s(event)
+                          for node in comparable]
                 center = statistics.median(values)
                 for i, score in flag_outliers(values, cfg.mad_threshold,
                                               cfg.min_abs_s):
-                    interval = bucket[nodes[i]]
-                    outlier_nodes.add(nodes[i])
+                    interval = bucket[comparable[i]]
+                    outlier_nodes.add(comparable[i])
                     self.alerts.append(Alert(
                         kind=NODE_OUTLIER, interval=index,
-                        time_ns=interval.end_ns, node=nodes[i], metric=event,
+                        time_ns=interval.end_ns, node=comparable[i],
+                        metric=event,
                         value_s=values[i], baseline_s=center, score=score))
                     nalerts += 1
         for node in nodes:
@@ -321,4 +501,7 @@ class ClusterMonitor:
             dropped_snapshots=sum(d.dropped for d in self.daemons),
             dropped_points=self.series.total_dropped(),
             series=series,
-            alerts=sorted(self.alerts, key=sort_key))
+            alerts=sorted(self.alerts, key=sort_key),
+            node_health=dict(self._health),
+            dropped_deliveries=self.dropped_deliveries,
+            realigned=self.realigned)

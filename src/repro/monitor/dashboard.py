@@ -40,6 +40,11 @@ def render_dashboard(data: MonitorData, width: int = 48) -> str:
     lines.append(f"cluster monitor — {len(data.nodes)} nodes, "
                  f"{data.intervals} intervals over {span_s:.1f}s "
                  f"(period {data.period_ns / SEC * 1e3:.0f} ms)")
+    unhealthy = {node: health for node, health
+                 in sorted(data.node_health.items()) if health != "live"}
+    if unhealthy:
+        lines.append("health: " + ", ".join(
+            f"{node}={health}" for node, health in unhealthy.items()))
     metrics = sorted({metric for per_node in data.series.values()
                       for metric in per_node})
     name_w = max((len(node) for node in data.nodes), default=4)

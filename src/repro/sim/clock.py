@@ -36,6 +36,27 @@ class CycleClock:
         self.engine = engine
         self.hz = float(hz)
         self.boot_offset_cycles = int(boot_offset_cycles)
+        #: fault injection: parts-per-million frequency error applied to
+        #: cycles accumulated after :attr:`_drift_start_ns`.  Zero (the
+        #: default) keeps the pre-fault arithmetic exactly — the hot
+        #: :meth:`cycles_at` path pays one falsy test, nothing else.
+        self._drift_ppm = 0.0
+        self._drift_start_ns = 0
+        self._drift_base_cycles = 0
+
+    def set_drift(self, ppm: float, at_ns: int) -> None:
+        """Skew this clock by ``ppm`` parts per million from ``at_ns`` on.
+
+        Cycles already accumulated are kept (the counter stays monotonic);
+        later cycles advance at ``hz * (1 + ppm/1e6)``.  Used by the fault
+        injector to model one node's oscillator drifting — cross-node
+        timestamp alignment then visibly degrades on that node only.
+        """
+        if ppm <= -1e6:
+            raise ValueError("drift must keep the clock rate positive")
+        self._drift_base_cycles = self.cycles_at(at_ns)
+        self._drift_start_ns = at_ns
+        self._drift_ppm = float(ppm)
 
     def read(self) -> int:
         """Current TSC value (cycles since an arbitrary node-local epoch)."""
@@ -43,6 +64,10 @@ class CycleClock:
 
     def cycles_at(self, t_ns: int) -> int:
         """Cycles elapsed at engine time ``t_ns`` (excluding boot offset)."""
+        if self._drift_ppm and t_ns >= self._drift_start_ns:
+            skewed_hz = self.hz * (1.0 + self._drift_ppm / 1e6)
+            return self._drift_base_cycles + (
+                int((t_ns - self._drift_start_ns) * skewed_hz) // SEC)
         return int(t_ns * self.hz) // SEC
 
     def ns_for_cycles(self, cycles: int) -> int:

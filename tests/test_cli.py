@@ -30,6 +30,34 @@ def test_lmbench_command(capsys):
     assert "lat_syscall" in out and "bw_tcp" in out
 
 
+def test_chaos_list_plans(capsys):
+    assert main(["chaos", "--list-plans"]) == 0
+    out = capsys.readouterr().out
+    assert "kill-and-partition" in out
+    assert "wire-partition" in out
+
+
+def test_chaos_rejects_unknown_plan():
+    assert main(["chaos", "--plan", "no-such-plan"]) == 2
+
+
+def test_chaos_advertised_in_help():
+    help_text = build_parser().format_help()
+    assert "chaos" in help_text
+
+
+def test_parser_rejects_unknown_chaos_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["chaos", "--experiment", "bogus"])
+
+
+def test_version_flag_reports(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert "repro" in capsys.readouterr().out
+
+
 def test_parser_rejects_unknown_table():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["table", "9"])

@@ -67,11 +67,13 @@ class TestDeterminismRules:
         # substrate — including the replication runner (whose
         # serial/parallel equivalence depends on it), the observability
         # layer (whose wall-clock reads are confined to two suppressed
-        # lines in repro.obs.runtime), and the online monitor (whose
-        # harvests are byte-compared across serial/parallel runs).
+        # lines in repro.obs.runtime), the online monitor (whose
+        # harvests are byte-compared across serial/parallel runs), and
+        # the fault layer (same plan + seed must replay bit-for-bit).
         from repro.lint.determinism import SCOPE
         assert SCOPE == ("repro.sim", "repro.kernel", "repro.core",
-                         "repro.parallel", "repro.obs", "repro.monitor")
+                         "repro.parallel", "repro.obs", "repro.monitor",
+                         "repro.faults")
 
     def test_wall_clock_in_copied_sim_module(self, tmp_path):
         # A file that *is* part of repro.sim (by path) gets the rule...

@@ -5,17 +5,19 @@ import json
 
 import pytest
 
+from repro.analysis.views import interval_view
 from repro.cluster.daemons import STANDARD_DAEMON_COMMS, start_busy_daemon
 from repro.cluster.launch import block_placement, launch_mpi_job
 from repro.cluster.machines import make_chiba
+from repro.core.wire import TaskProfileDump
 from repro.monitor import (Alert, ClusterMonitor, INTERFERENCE,
-                           MonitorConfig, NODE_OUTLIER, NodeInterval,
-                           RingSeries, SeriesStore, alerts_to_doc,
-                           flag_outliers, integrated_timeline, mad,
-                           monitor_data_to_json, render_dashboard)
+                           MonitorConfig, NODE_LOST, NODE_OUTLIER,
+                           NODE_STALE, NodeInterval, RingSeries, SeriesStore,
+                           alerts_to_doc, flag_outliers, integrated_timeline,
+                           mad, monitor_data_to_json, render_dashboard)
 from repro.monitor.detect import SCORE_CAP
 from repro.obs.tracer import validate_trace_events
-from repro.sim.units import MSEC
+from repro.sim.units import MSEC, SEC
 from repro.workloads.lu import LuParams, lu_app
 
 SMALL_LU = LuParams(niters=6, iter_compute_ns=60 * MSEC, halo_bytes=16_384,
@@ -264,3 +266,104 @@ class TestMonitoredFig2:
 
         assert Fig2ABResult.__dataclass_fields__["monitor"].default is None
         assert Fig2ABResult.__dataclass_fields__["timeline"].default is None
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation: a node that stops snapshotting mid-run
+# ---------------------------------------------------------------------------
+DEGRADED = MonitorConfig(period_ns=20 * MSEC, min_nodes=4,
+                         stale_after_periods=2.5, lost_after_periods=6.0)
+
+
+def _idle(duration_ns):
+    """A do-nothing foreground task that keeps the run alive."""
+
+    def behavior(ctx):
+        yield from ctx.sleep(duration_ns)
+
+    return behavior
+
+
+@pytest.fixture(scope="module")
+def silenced_run():
+    """ccn001's KTAUD is killed 70ms into a 400ms run: its snapshots
+    stop but the monitor keeps closing partial intervals for the rest."""
+    cluster = make_chiba(nnodes=4, seed=5)
+    monitor = ClusterMonitor(cluster, DEGRADED)
+    monitor.attach()
+    victim = cluster.nodes[1]
+    cluster.engine.schedule_at(
+        70 * MSEC,
+        lambda: victim.kernel.send_signal(victim.ktaud.task, 9),
+        "test.kill-ktaud")
+    watched = [node.kernel.spawn(_idle(400 * MSEC), f"app.{node.index}")
+               for node in cluster.nodes]
+    cluster.run_until_complete(watched, limit_ns=10 * SEC)
+    data = monitor.harvest()
+    cluster.teardown()
+    return data
+
+
+class TestDegradedMonitor:
+    def test_silent_node_goes_stale_then_lost(self, silenced_run):
+        data = silenced_run
+        assert data.alert_nodes(NODE_STALE) == ["ccn001"]
+        assert data.alert_nodes(NODE_LOST) == ["ccn001"]
+        assert data.node_health == {"ccn000": "live", "ccn001": "lost",
+                                    "ccn002": "live", "ccn003": "live"}
+
+    def test_stale_precedes_lost(self, silenced_run):
+        times = {a.kind: a.time_ns for a in silenced_run.alerts
+                 if a.kind in (NODE_STALE, NODE_LOST)}
+        assert times[NODE_STALE] < times[NODE_LOST]
+
+    def test_partial_intervals_keep_closing(self, silenced_run):
+        data = silenced_run
+        # the run spans ~20 periods; losing a node must not stall closure
+        assert data.intervals >= 10
+        # the silent node's series freezes at the kill; the rest keep
+        # reporting until the end of the run
+        last = {node: data.series[node]["activity"][-1][0]
+                for node in data.nodes}
+        assert last["ccn001"] < min(v for n, v in last.items()
+                                    if n != "ccn001")
+
+    def test_degraded_harvest_serialises_canonically(self, silenced_run):
+        payload = monitor_data_to_json(silenced_run)
+        doc = json.loads(payload)
+        assert doc["node_health"]["ccn001"] == "lost"
+        assert monitor_data_to_json(silenced_run) == payload
+
+
+# ---------------------------------------------------------------------------
+# interval_view under pid churn (a profiled pid disappears mid-interval)
+# ---------------------------------------------------------------------------
+def _dump(pid, comm, perf):
+    return TaskProfileDump(pid=pid, comm=comm, perf=perf)
+
+
+class TestIntervalViewPidChurn:
+    def test_exited_pid_drops_out(self):
+        prev = {7: _dump(7, "app", {"sys_read": (5, 500, 400)}),
+                9: _dump(9, "helper", {"sys_read": (2, 200, 100)})}
+        curr = {7: _dump(7, "app", {"sys_read": (8, 900, 700)})}
+        # pid 9 exited between snapshots: it drops out, no negative deltas
+        assert interval_view(prev, curr) == {7: {"sys_read": (3, 400, 300)}}
+
+    def test_reused_pid_counts_from_zero(self):
+        prev = {7: _dump(7, "app", {"sys_read": (50, 5000, 4000)})}
+        curr = {7: _dump(7, "app2", {"sys_read": (3, 300, 200)})}
+        # the counter went backwards: pid 7 exited and was reused
+        assert interval_view(prev, curr) == {7: {"sys_read": (3, 300, 200)}}
+
+    def test_new_pid_contributes_totals(self):
+        curr = {4: _dump(4, "newborn", {"schedule": (2, 20, 20)})}
+        assert interval_view({}, curr) == {4: {"schedule": (2, 20, 20)}}
+
+    def test_first_snapshot_yields_lifetime_totals(self):
+        curr = {7: _dump(7, "app", {"sys_read": (5, 500, 400)})}
+        assert interval_view(None, curr) == {7: {"sys_read": (5, 500, 400)}}
+
+    def test_idle_interval_is_empty(self):
+        snap = {7: _dump(7, "app", {"sys_read": (5, 500, 400)})}
+        assert interval_view(snap, snap) == {}

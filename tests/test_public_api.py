@@ -19,7 +19,7 @@ PUBLIC_MODULES = [
     "repro.core", "repro.core.measurement", "repro.core.registry",
     "repro.core.points", "repro.core.config", "repro.core.overhead",
     "repro.core.counters", "repro.core.tracebuf", "repro.core.wire",
-    "repro.core.procfs", "repro.core.libktau",
+    "repro.core.procfs", "repro.core.libktau", "repro.core.retry",
     "repro.core.clients", "repro.core.clients.ktaud",
     "repro.core.clients.runktau", "repro.core.clients.selfprofile",
     "repro.tau", "repro.tau.profiler", "repro.tau.merge", "repro.tau.phases",
@@ -37,6 +37,8 @@ PUBLIC_MODULES = [
     "repro.monitor", "repro.monitor.cluster_monitor", "repro.monitor.series",
     "repro.monitor.intervals", "repro.monitor.alerts", "repro.monitor.detect",
     "repro.monitor.timeline", "repro.monitor.dashboard",
+    "repro.faults", "repro.faults.plan", "repro.faults.injector",
+    "repro.faults.retry", "repro.faults.chaos",
     "repro.analysis", "repro.analysis.profiles", "repro.analysis.views",
     "repro.analysis.stats", "repro.analysis.cdf", "repro.analysis.histogram",
     "repro.analysis.tracemerge", "repro.analysis.tracestats",
@@ -49,7 +51,7 @@ PUBLIC_MODULES = [
     "repro.experiments.fig7", "repro.experiments.fig8",
     "repro.experiments.fig9_10", "repro.experiments.table2",
     "repro.experiments.table3", "repro.experiments.table4",
-    "repro.experiments.ionode",
+    "repro.experiments.ionode", "repro.experiments.chaos",
     "repro.cli",
 ]
 
