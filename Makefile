@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint lint-json lint-sarif lint-graph lint-report check \
-	bench bench-smoke obs-demo monitor-demo chaos-smoke
+	bench bench-smoke bench-guard obs-demo monitor-demo chaos-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,10 +27,13 @@ lint-report:
 check: lint test
 
 bench:
-	$(PYTHON) benchmarks/bench.py --out BENCH_pr7.json
+	$(PYTHON) benchmarks/bench.py --out BENCH_pr8.json
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench.py --smoke --out bench_smoke.json
+
+bench-guard: bench-smoke
+	$(PYTHON) benchmarks/check_regression.py bench_smoke.json BENCH_pr8.json
 
 chaos-smoke:
 	$(PYTHON) -m repro chaos --plan kill-and-partition \

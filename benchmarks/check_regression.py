@@ -1,0 +1,54 @@
+"""CI bench regression guard: ``make bench-guard``.
+
+Compares a fresh (usually ``--smoke``) bench run against the committed
+``BENCH_pr8.json``.  Raw wall times are NOT compared — CI machines and
+the artifact's host differ, and cross-host wall clocks are provenance,
+not baselines (see ``meta.host``).  What IS comparable is the
+*same-process ratio* of the calendar-queue engine to the in-harness
+reference heap: both sides of that ratio ran interleaved on one
+machine, so the ratio tracks code, not hardware.
+
+Fails (exit 1) if either churn shape's ``speedup_vs_heap_baseline``
+drops more than ``TOLERANCE`` below the committed ratio — i.e. the
+calendar queue lost more than 25% of its measured advantage.
+
+Usage::
+
+    python benchmarks/check_regression.py FRESH.json [COMMITTED.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+TOLERANCE = 0.25
+ROWS = ("engine_churn", "engine_cancel_churn")
+
+
+def main(argv: list[str]) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__)
+        return 2
+    fresh_path = argv[0]
+    committed_path = argv[1] if len(argv) > 1 else "BENCH_pr8.json"
+    with open(fresh_path) as fh:
+        fresh = json.load(fh)
+    with open(committed_path) as fh:
+        committed = json.load(fh)
+
+    failed = False
+    for row in ROWS:
+        ref = committed[row]["speedup_vs_heap_baseline"]
+        got = fresh[row]["speedup_vs_heap_baseline"]
+        floor = ref * (1.0 - TOLERANCE)
+        verdict = "ok" if got >= floor else "REGRESSION"
+        print(f"{row}: speedup_vs_heap_baseline {got:.3f} "
+              f"(committed {ref:.3f}, floor {floor:.3f}) {verdict}")
+        if got < floor:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -13,7 +13,10 @@ Attaching a :class:`ShardIsolationSanitizer` to a :class:`Cluster`:
 1. **Tags engine events with an owning node.**  The engine's opt-in
    ``schedule_interceptor`` wraps every callback scheduled while a node
    context is active, so the ownership of an event chain propagates:
-   an event scheduled by node 3's scheduler runs as node 3.
+   an event scheduled by node 3's scheduler runs as node 3.  Arming the
+   hook swaps the engine onto an intercepting subclass (and detaching
+   swaps it back), so a detached sanitizer leaves the schedule fast
+   path with literally zero residue — no per-event hook test survives.
 2. **Establishes context at node entry surfaces.**  Per-instance
    wrappers on each node's scheduler (``start_task``/``_advance``/
    ``wake``), IRQ controller (``deliver``), NIC (``transmit_group``) and

@@ -4,11 +4,15 @@ to a live cluster through scheduled engine events.
 Every fault fires as an ordinary simulation event at its planned
 virtual instant, so injection is ordered deterministically against all
 other simulated activity; the only randomness (RNG-chosen targets,
-per-frame loss draws) comes from the cluster's seeded RNG hub.  With no
-plan armed, none of the hooks the injector uses exist at run time —
-``Nic.fault_hook`` stays ``None``, ``Ktaud.suspended_until_ns`` stays
-``0``, ``KtauProcFS.failing`` stays ``False`` — so a fault-free run is
-byte-identical to a build without this module (the BENCH A/B row).
+per-frame loss draws) comes from the cluster's seeded RNG hub.  Plans
+front-load their whole schedule at arm time; fault instants far beyond
+the engine's calendar-queue span simply land in its ordered overflow
+lane, so even an hours-out fault costs the dispatch hot path nothing
+until its epoch approaches.  With no plan armed, none of the hooks the
+injector uses exist at run time — ``Nic.fault_hook`` stays ``None``,
+``Ktaud.suspended_until_ns`` stays ``0``, ``KtauProcFS.failing`` stays
+``False`` — so a fault-free run is byte-identical to a build without
+this module (the BENCH A/B row).
 
 Crash semantics: a :class:`~repro.faults.plan.NodeCrash` SIGKILLs every
 process the node's kernel still tracks (delivery happens through the

@@ -59,8 +59,16 @@ class CycleClock:
         self._drift_ppm = float(ppm)
 
     def read(self) -> int:
-        """Current TSC value (cycles since an arbitrary node-local epoch)."""
-        return self.boot_offset_cycles + self.cycles_at(self.engine.now)
+        """Current TSC value (cycles since an arbitrary node-local epoch).
+
+        This is the per-timestamp hot path (every KTAU entry/exit/atomic
+        reads it), so the driftless case inlines :meth:`cycles_at`'s
+        arithmetic — identical expression, hence bit-identical values —
+        to skip a method call per read.
+        """
+        if self._drift_ppm:
+            return self.boot_offset_cycles + self.cycles_at(self.engine.now)
+        return self.boot_offset_cycles + int(self.engine.now * self.hz) // SEC
 
     def cycles_at(self, t_ns: int) -> int:
         """Cycles elapsed at engine time ``t_ns`` (excluding boot offset)."""

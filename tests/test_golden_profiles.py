@@ -1,0 +1,46 @@
+"""Byte-identity goldens for full-experiment profile output.
+
+These hashes were captured from the binary-heap engine immediately
+before the calendar-queue rewrite (PR 8).  The queue replacement is a
+pure performance change: every experiment must produce *byte-identical*
+profile JSON, because dispatch order — not just dispatch content — is
+part of the determinism contract (ROADMAP invariant: same seed, same
+profiles, to the nanosecond).
+
+If a future PR intentionally changes simulated behaviour, regenerate
+``tests/goldens/engine_profiles.json`` and say so in the PR; these tests
+failing on an engine-only change means event ordering drifted.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.export import profiles_to_json
+from repro.analysis.profiles import harvest_job
+from repro.cluster.launch import block_placement, launch_mpi_job
+from repro.cluster.machines import make_chiba
+from repro.sim.units import MSEC
+from repro.workloads.lu import LuParams, lu_app
+
+_GOLD = json.loads(
+    (Path(__file__).parent / "goldens" / "engine_profiles.json").read_text())
+
+
+def test_lu_profiles_byte_identical_to_golden():
+    params = LuParams(niters=3, iter_compute_ns=8 * MSEC, halo_bytes=8192,
+                      sweep_msg_bytes=2048, inorm=2)
+    cluster = make_chiba(nnodes=4, seed=1)
+    job = launch_mpi_job(cluster, 8, lu_app(params),
+                         placement=block_placement(2, 8))
+    job.run(limit_s=600)
+    payload = profiles_to_json(harvest_job(job))
+    cluster.teardown()
+    assert hashlib.sha256(payload.encode()).hexdigest() == _GOLD["lu_sha256"]
+
+
+def test_fig2_profiles_byte_identical_to_golden():
+    from repro.experiments.fig2_controlled import run_fig2ab
+    res = run_fig2ab(seed=1)
+    payload = profiles_to_json(res.data)
+    assert hashlib.sha256(payload.encode()).hexdigest() == _GOLD["fig2_sha256"]
