@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint lint-json lint-sarif lint-graph lint-report check \
-	bench bench-smoke bench-guard obs-demo monitor-demo chaos-smoke
+	bench bench-smoke bench-guard obs-demo monitor-demo chaos-smoke \
+	bottlenecks-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,13 +28,13 @@ lint-report:
 check: lint test
 
 bench:
-	$(PYTHON) benchmarks/bench.py --out BENCH_pr8.json
+	$(PYTHON) benchmarks/bench.py --out BENCH_pr9.json
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench.py --smoke --out bench_smoke.json
 
 bench-guard: bench-smoke
-	$(PYTHON) benchmarks/check_regression.py bench_smoke.json BENCH_pr8.json
+	$(PYTHON) benchmarks/check_regression.py bench_smoke.json BENCH_pr9.json
 
 chaos-smoke:
 	$(PYTHON) -m repro chaos --plan kill-and-partition \
@@ -46,3 +47,9 @@ monitor-demo:
 	$(PYTHON) -m repro monitor --experiment fig2 \
 		--timeline-out monitor_fig2.trace.json \
 		--alerts-out monitor_fig2.alerts.json
+
+# Exits non-zero unless the offline report and the online BOTTLENECK
+# alert both attribute the perturbed node (ccn007).
+bottlenecks-demo:
+	$(PYTHON) -m repro analyze bottlenecks --experiment fig2 \
+		--report-out bottleneck_fig2.json

@@ -1,7 +1,7 @@
 """The committed performance harness: ``make bench``.
 
 Measures the things this substrate optimises and writes them to a JSON
-artifact (``BENCH_pr4.json`` at the repo root is the committed record):
+artifact (``BENCH_pr9.json`` at the repo root is the committed record):
 
 1. **Engine hot path** — the self-rescheduling churn loop from
    ``benchmarks/test_simulator_speed.py`` (50k events through the
@@ -28,6 +28,10 @@ artifact (``BENCH_pr4.json`` at the repo root is the committed record):
    :class:`~repro.faults.FaultInjector` armed on an *empty* plan vs
    without, including a byte-identity check on the LU profiles: a run
    with no faults due must be unchanged, not merely similar.
+6. **Lost-time attribution** — a monitored LU run with the streaming
+   bottleneck attributor (:mod:`repro.monitor.bottleneck`) off vs on,
+   again with profile byte-identity checked: the attributor is
+   host-side analysis and must not perturb the simulation.
 
 Honesty note: speedup is reported next to ``cpu_count`` and a host
 fingerprint (CPU model, python version).  On a single-CPU host the
@@ -506,6 +510,45 @@ def bench_faults_overhead(events: int, rounds: int) -> dict:
     }
 
 
+def bench_bottleneck_overhead(rounds: int) -> dict:
+    """Monitored LU wall time with the streaming lost-time attributor
+    off (``bottleneck_top_k=0``) vs on.
+
+    The attributor is host-side arithmetic over interval deltas the
+    monitor already computes, so ``overhead_pct`` should be measurement
+    noise — and because it never touches the simulation,
+    ``profiles_bit_identical`` must be True: the attributed runs'
+    harvested profiles byte-compare against the plain monitored run's.
+    """
+    from repro.monitor import ClusterMonitor, MonitorConfig
+
+    def lu_run(top_k: int) -> tuple[float, str]:
+        t0 = time.perf_counter()
+        c = make_chiba(nnodes=4, seed=1)
+        mon = ClusterMonitor(c, MonitorConfig(period_ns=10 * MSEC,
+                                              bottleneck_top_k=top_k))
+        job = launch_mpi_job(c, 8, lu_app(SWEEP_LU),
+                             placement=block_placement(2, 8),
+                             node_setup=mon.attach_node)
+        job.run(limit_s=600)
+        payload = profiles_to_json(harvest_job(job))
+        mon.harvest()
+        c.teardown()
+        return time.perf_counter() - t0, payload
+
+    off = [lu_run(0) for _ in range(rounds)]
+    on = [lu_run(5) for _ in range(rounds)]
+    off_s = min(t for t, _ in off)
+    on_s = min(t for t, _ in on)
+    return {
+        "rounds": rounds,
+        "lu_monitored_wall_s": off_s,
+        "lu_attributed_wall_s": on_s,
+        "overhead_pct": 100.0 * (on_s - off_s) / off_s,
+        "profiles_bit_identical": all(p == off[0][1] for _, p in on),
+    }
+
+
 def metrics_snapshot(events: int) -> dict:
     """Harness metrics for one instrumented churn + one LU replication."""
     from repro import obs
@@ -558,6 +601,7 @@ def main(argv: list[str] | None = None) -> int:
         "monitor_overhead": bench_monitor_overhead(churn_events,
                                                    churn_rounds),
         "faults_overhead": bench_faults_overhead(churn_events, churn_rounds),
+        "bottleneck_overhead": bench_bottleneck_overhead(churn_rounds),
         "metrics": metrics_snapshot(churn_events),
     }
 
@@ -569,7 +613,8 @@ def main(argv: list[str] | None = None) -> int:
     identical = all(run["bit_identical_to_serial"]
                     for run in result["parallel_sweep"]["workers"].values())
     identical = identical \
-        and result["faults_overhead"]["lu_bit_identical_to_plain"]
+        and result["faults_overhead"]["lu_bit_identical_to_plain"] \
+        and result["bottleneck_overhead"]["profiles_bit_identical"]
     return 0 if identical else 1
 
 

@@ -1,0 +1,62 @@
+"""repro.analysis.bottlenecks — GAPP-style lost-time attribution.
+
+The paper's merged user+kernel views say *where* the time went; this
+subpackage says *who took it*.  Following GAPP (PAPERS.md), which
+identifies serialization bottlenecks in parallel programs from kernel
+scheduler events alone, the analyzer walks each rank's merged
+user/kernel trace and reconstructs its **wait intervals** — voluntary
+scheduling waits, TCP receive stalls, interrupt preemption — then
+attributes every interval to the kernel path responsible and, where the
+MPI message flow names one, to the **remote rank that sent late**.
+
+Four pieces:
+
+* :mod:`~repro.analysis.bottlenecks.waits` — per-rank wait-interval
+  reconstruction from :func:`repro.analysis.tracemerge.merge_traces`
+  rows (tolerant of truncated circular traces and orphaned exits).
+* :mod:`~repro.analysis.bottlenecks.harvest` — collecting the
+  analyzer's inputs (merged traces, clock metadata, MPI message logs)
+  from a completed traced job.
+* :mod:`~repro.analysis.bottlenecks.report` — the deterministic
+  :class:`~repro.analysis.bottlenecks.report.BottleneckReport`:
+  cluster-wide lost-time ranking by (node, kernel path), per-rank and
+  per-blocker attribution tables, and "who blocks whom" chains (rank A
+  waits on rank B's send, which waits on B's compute or kernel path),
+  with canonical byte-stable JSON serialisation.
+* :mod:`~repro.analysis.bottlenecks.render` — text rendering through
+  :mod:`repro.analysis.render`.
+
+The streaming counterpart (online top-K attribution over KTAUD
+snapshot deliveries) lives in :mod:`repro.monitor.bottleneck`; this
+package is strictly post-mortem and consumes simulated measurements
+only, so reports are byte-identical across serial and parallel runs
+(asserted in ``tests/test_determinism.py``).
+"""
+
+from repro.analysis.bottlenecks.harvest import (RankTrace,
+                                                harvest_bottleneck_inputs)
+from repro.analysis.bottlenecks.render import render_report
+from repro.analysis.bottlenecks.report import (BlockChain, BottleneckReport,
+                                               PathLoss, RankLoss,
+                                               build_report, report_to_json)
+from repro.analysis.bottlenecks.waits import (IRQ_PREEMPTION, PREEMPTION,
+                                              TCP_RECV_STALL, VOLUNTARY_WAIT,
+                                              WaitInterval, extract_waits)
+
+__all__ = [
+    "BlockChain",
+    "BottleneckReport",
+    "IRQ_PREEMPTION",
+    "PREEMPTION",
+    "PathLoss",
+    "RankLoss",
+    "RankTrace",
+    "TCP_RECV_STALL",
+    "VOLUNTARY_WAIT",
+    "WaitInterval",
+    "build_report",
+    "extract_waits",
+    "harvest_bottleneck_inputs",
+    "render_report",
+    "report_to_json",
+]

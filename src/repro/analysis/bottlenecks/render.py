@@ -1,0 +1,54 @@
+"""Text rendering of bottleneck reports (``repro analyze bottlenecks``).
+
+Thin presentation layer over :mod:`repro.analysis.render`: a ranked
+(node, kernel path) table, a per-node blocker bargraph, the "who blocks
+whom" chains, and the per-rank wait breakdown.  Purely a function of
+the report — no simulation access — so it shares the report's
+determinism for free.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bottlenecks.report import BottleneckReport
+from repro.analysis.render import ascii_bargraph, ascii_table
+from repro.sim.units import SEC
+
+
+def render_report(report: BottleneckReport) -> str:
+    """Render a full report as the CLI's text view."""
+    parts: list[str] = []
+    parts.append(
+        f"lost time: {report.total_lost_ns / SEC:.3f} s across "
+        f"{report.total_waits} waits "
+        f"(unattributed stalls {report.unattributed_stall_ns / SEC:.3f} s)")
+    parts.append("")
+
+    parts.append(ascii_table(
+        ["node", "kernel path", "lost s", "direct s", "charged s", "waits"],
+        [(p.node, p.path, p.lost_ns / SEC, p.direct_ns / SEC,
+          p.charged_ns / SEC, p.waits) for p in report.paths],
+        floatfmt=".3f",
+        title=f"Top {len(report.paths)} lost-time contributors"))
+
+    parts.append(ascii_bargraph(
+        [(node, ns / SEC) for node, ns in report.blockers],
+        title="Lost time charged per node"))
+
+    if report.chains:
+        parts.append(ascii_table(
+            ["waiter", "blocker", "via", "state", "lost s", "waits"],
+            [(f"r{c.waiter_rank}@{c.waiter_node}",
+              f"r{c.blocker_rank}@{c.blocker_node}",
+              c.via, c.blocker_state, c.lost_ns / SEC, c.waits)
+             for c in report.chains],
+            floatfmt=".3f", title="Who blocks whom"))
+
+    parts.append(ascii_table(
+        ["rank", "node", "total s", "tcp stall", "vol wait",
+         "preempt", "irq"],
+        [(r.rank, r.node, r.total_ns / SEC, r.tcp_recv_stall_ns / SEC,
+          r.voluntary_wait_ns / SEC, r.preemption_ns / SEC,
+          r.irq_preemption_ns / SEC) for r in report.ranks],
+        floatfmt=".3f", title="Per-rank lost time"))
+
+    return "\n".join(parts)

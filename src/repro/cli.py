@@ -372,6 +372,58 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Post-mortem analytics over traced runs.  ``bottlenecks`` runs a
+    traced experiment, prints the lost-time attribution report, and for
+    the fig2 scenario exits 1 unless the perturbed node is the top
+    blocker (the CI demo gate)."""
+    from repro.analysis.bottlenecks import render_report, report_to_json
+    from repro.experiments import bottleneck as bn
+    from repro.monitor import BOTTLENECK, MonitorConfig
+    from repro.sim.units import MSEC
+
+    monitor_config = None
+    if args.monitored or args.experiment == "fig2":
+        monitor_config = MonitorConfig(period_ns=args.period_ms * MSEC,
+                                       bottleneck_top_k=args.top_k)
+    runner = {"fig2": bn.run_bottleneck_fig2,
+              "lu": bn.run_bottleneck_lu,
+              "noise": bn.run_bottleneck_noise,
+              "chiba": bn.run_bottleneck_chiba}[args.experiment]
+    log.info("running the traced %s experiment ...", args.experiment)
+    result = runner(seed=args.seed, top_k=args.top_k,
+                    monitor_config=monitor_config)
+    report = result.report
+    print(render_report(report))
+
+    ok = True
+    if result.monitor is not None:
+        streamed = [a for a in result.monitor.alerts
+                    if a.kind == BOTTLENECK]
+        for alert in streamed:
+            print("online: " + alert.describe())
+    if result.perturbed_node is not None:
+        print(f"\nperturbed node (ground truth): {result.perturbed_node}")
+        print(f"top blocker (offline report):  {report.top_blocker}")
+        if args.experiment == "fig2":
+            ok = report.top_blocker == result.perturbed_node
+            if result.monitor is not None:
+                streamed_nodes = {a.node for a in result.monitor.alerts
+                                  if a.kind == BOTTLENECK}
+                online = result.perturbed_node in streamed_nodes
+                print("online BOTTLENECK alert:       "
+                      + ("matches" if online else "MISSING"))
+                ok = ok and online
+            if not ok:
+                log.error("attribution failed to rank the perturbed node "
+                          "first")
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            fh.write(report_to_json(report))
+        log.info("wrote bottleneck report to %s", args.report_out)
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Chaos harness: run an experiment under a named fault plan and
     check the detection/recovery invariants (exit 1 on any violation)."""
@@ -526,6 +578,27 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--alerts-out", metavar="FILE", default=None,
                          help="write the canonical alert log (JSON) here")
     monitor.set_defaults(func=_cmd_monitor)
+
+    analyze = add_parser("analyze",
+                         help="post-mortem analytics over traced runs")
+    analyze.add_argument("what", choices=("bottlenecks",),
+                         help="which analysis to run")
+    analyze.add_argument("--experiment",
+                         choices=("fig2", "noise", "chiba", "lu"),
+                         default="fig2",
+                         help="which traced run to analyze (default: the "
+                              "perturbed Figure 2-A scenario)")
+    analyze.add_argument("--seed", type=int, default=1)
+    analyze.add_argument("--top-k", type=int, default=10,
+                         help="rows kept in the ranked tables")
+    analyze.add_argument("--monitored", action="store_true",
+                         help="also run the streaming attributor under an "
+                              "online monitor (always on for fig2)")
+    analyze.add_argument("--period-ms", type=int, default=100,
+                         help="monitor extraction period (milliseconds)")
+    analyze.add_argument("--report-out", metavar="FILE", default=None,
+                         help="write the canonical report JSON here")
+    analyze.set_defaults(func=_cmd_analyze)
 
     chaos = add_parser("chaos",
                        help="chaos harness: run an experiment under a "

@@ -131,6 +131,7 @@ def _rank_behavior(world: MpiWorld, rank: int, app: AppFn,
     def behavior(ctx: UserContext):
         mpi = MpiRank(world, rank, ctx)
         ctx.mpi = mpi
+        world.rank_mpi[rank] = mpi
         if pin_cpu is not None:
             yield from ctx.set_affinity({pin_cpu})
         tau = ctx.task.tau

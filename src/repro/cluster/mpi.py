@@ -42,6 +42,10 @@ class MpiWorld:
         self.size = nranks
         self.rank_nodes: list[Optional["Node"]] = [None] * nranks
         self.rank_tasks: list[Optional["Task"]] = [None] * nranks
+        #: rank -> its :class:`MpiRank` handle, filled in as rank
+        #: processes start (the bottleneck analyzer reads message logs
+        #: through this after the run).
+        self.rank_mpi: list[Optional["MpiRank"]] = [None] * nranks
 
     def sock(self, src_rank: int, dst_rank: int) -> StreamSocket:
         src_node = self.rank_nodes[src_rank]
@@ -72,6 +76,13 @@ class MpiRank:
         self.ctx = ctx
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: message-flow log: ``(op, peer, nbytes, start_ns, end_ns)`` per
+        #: wire operation, in engine (global) nanoseconds.  Host-side
+        #: bookkeeping only — appending costs no simulated time, so
+        #: instrumented and historical runs stay byte-identical.  The
+        #: lost-time analyzer uses it to name the remote rank behind a
+        #: TCP receive stall (traces alone carry no peer identity).
+        self.msg_log: list[tuple[str, int, int, int, int]] = []
 
     @property
     def size(self) -> int:
@@ -84,19 +95,25 @@ class MpiRank:
 
     def _send_raw(self, dst: int, nbytes: int):
         sock = self.world.sock(self.rank, dst)
+        start_ns = self.world.cluster.engine.now
         yield from self.ctx.syscall("sys_writev", sock=sock,
                                     nbytes=nbytes + ENVELOPE_BYTES)
         self.bytes_sent += nbytes
+        self.msg_log.append(("send", dst, nbytes, start_ns,
+                             self.world.cluster.engine.now))
 
     def _recv_raw(self, src: int, nbytes: int):
         sock = self.world.sock(src, self.rank)
         want = nbytes + ENVELOPE_BYTES
         got = 0
+        start_ns = self.world.cluster.engine.now
         while got < want:
             r = yield from self.ctx.syscall("sys_readv", sock=sock,
                                             nbytes=want - got)
             got += r
         self.bytes_received += nbytes
+        self.msg_log.append(("recv", src, nbytes, start_ns,
+                             self.world.cluster.engine.now))
 
     # ------------------------------------------------------------------
     # Point-to-point

@@ -15,6 +15,8 @@ KTAU402
     dependency map mirrors the architecture (sim at the bottom; core
     above sim; the kernel above core; measurement clients, workloads
     and the cluster above the kernel; analysis and experiments on top).
+    A second-level subpackage may declare its own, tighter contract
+    (``analysis.bottlenecks`` must never import the monitor).
     ``if TYPE_CHECKING:`` imports are exempt — they never execute.
 """
 
@@ -27,8 +29,10 @@ from repro.lint.engine import Rule, SourceFile, register
 from repro.lint.findings import Finding
 
 #: package -> repro sub-packages it may import from at run time.
-#: Top-level modules (repro.cli, repro.__main__, repro/__init__) are the
-#: application shell and may import anything.
+#: Keys may name a second-level subpackage ("analysis.bottlenecks") to
+#: scope it more tightly than its parent layer; the most specific key
+#: wins.  Top-level modules (repro.cli, repro.__main__, repro/__init__)
+#: are the application shell and may import anything.
 LAYER_DEPS: dict[str, set[str]] = {
     # Harness observability is the substrate below the substrate: every
     # layer may publish into it, and it may import nothing back.
@@ -43,6 +47,12 @@ LAYER_DEPS: dict[str, set[str]] = {
                  "workloads"},
     "analysis": {"cluster", "core", "kernel", "obs", "sim", "tau",
                  "workloads"},
+    # The offline bottleneck analyzer is scoped *tighter* than its
+    # parent layer: it harvests traces through the cluster and core and
+    # may use sibling analysis modules, but must never import the
+    # monitor — the streaming attributor lives in repro.monitor and
+    # depends on this package's contract, not the other way around.
+    "analysis.bottlenecks": {"analysis", "cluster", "core", "obs", "sim"},
     # The online monitor consumes measurements (analysis/core) over
     # cluster machinery and publishes into obs; experiments and the CLI
     # sit above it, the cluster below it (the launcher reaches it only
@@ -63,6 +73,15 @@ LAYER_DEPS: dict[str, set[str]] = {
     "parallel": {"obs"},
     "lint": set(),  # the linter must not depend on what it lints
 }
+
+
+def _layer_key(parts: list[str]) -> str:
+    """The most specific :data:`LAYER_DEPS` key for a module's parts
+    (``["repro", "analysis", "bottlenecks", ...]``): the two-component
+    subpackage key when one is declared, else the top-level layer."""
+    if len(parts) >= 3 and ".".join(parts[1:3]) in LAYER_DEPS:
+        return ".".join(parts[1:3])
+    return parts[1]
 
 
 def _defined_names(tree: ast.Module) -> set[str]:
@@ -164,8 +183,8 @@ class LayerViolationRule(Rule):
         parts = source.module.split(".")
         if len(parts) < 2 or parts[0] != "repro":
             return  # top-level shell modules and non-repro files
-        layer = parts[1]
-        allowed = LAYER_DEPS.get(layer)
+        key = _layer_key(parts)
+        allowed = LAYER_DEPS.get(key)
         if allowed is None:
             return  # unknown package: no layering contract declared
         guarded = _in_type_checking(source.tree)
@@ -182,11 +201,16 @@ class LayerViolationRule(Rule):
                 tparts = target.split(".")
                 if tparts[0] != "repro" or len(tparts) < 2:
                     continue
-                tlayer = tparts[1]
-                if tlayer == layer or tlayer in allowed:
+                tkey = _layer_key(tparts)
+                # Same scoped package, or a layer on the allowed list
+                # (a tightly-scoped subpackage may import its parent
+                # layer only when the parent is listed explicitly).
+                if tkey == key or tkey in allowed or tparts[1] in allowed:
                     continue
+                if tparts[1] == parts[1] and key == parts[1]:
+                    continue  # intra-layer import, no subpackage contract
                 yield self.finding(
                     source, line,
-                    f"layer violation: repro.{layer} must not import "
+                    f"layer violation: repro.{key} must not import "
                     f"'{target}' (allowed: "
                     f"{', '.join(sorted(allowed)) or 'stdlib only'})")

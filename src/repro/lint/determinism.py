@@ -37,7 +37,10 @@ from repro.lint.engine import Rule, SourceFile, register
 from repro.lint.findings import Finding
 
 SCOPE = ("repro.sim", "repro.kernel", "repro.core", "repro.parallel",
-         "repro.obs", "repro.monitor", "repro.faults")
+         "repro.obs", "repro.monitor", "repro.faults",
+         # The bottleneck analyzer's reports are golden-pinned, so the
+         # whole subpackage lives under the determinism contract.
+         "repro.analysis.bottlenecks")
 
 #: (penultimate, last) dotted-name components of banned wall-clock calls.
 _WALL_CLOCK = {

@@ -27,6 +27,12 @@ Five pieces:
   KTAUD per node (streaming callback, capped retention) to all of the
   above, and harvests a plain, picklable
   :class:`~repro.monitor.cluster_monitor.MonitorData`.
+* :mod:`repro.monitor.bottleneck` — the **streaming lost-time
+  attributor**: a running cluster-wide (node, kernel path) ranking of
+  direct lost time over the same interval deltas, emitting
+  :data:`~repro.monitor.alerts.BOTTLENECK` alerts when the cumulative
+  top blocker is also a cross-node outlier (the online half of
+  :mod:`repro.analysis.bottlenecks`).
 * :mod:`repro.monitor.timeline` + :mod:`repro.monitor.dashboard` — an
   **integrated timeline** exporter that merges the kernel interval
   stream with each rank's TAU profile into one Chrome-trace artifact
@@ -40,12 +46,14 @@ and parallel execution, which ``tests/test_determinism.py`` asserts.
 
 from __future__ import annotations
 
-from repro.monitor.alerts import (HEALTH_KINDS, INTERFERENCE, NODE_LOST,
-                                  NODE_OUTLIER, NODE_RECOVERED, NODE_STALE,
-                                  Alert, alerts_to_doc)
+from repro.monitor.alerts import (BOTTLENECK, HEALTH_KINDS, INTERFERENCE,
+                                  NODE_LOST, NODE_OUTLIER, NODE_RECOVERED,
+                                  NODE_STALE, Alert, alerts_to_doc)
+from repro.monitor.bottleneck import (LOST_TIME_EVENTS,
+                                      StreamingBottleneckAttributor)
 from repro.monitor.cluster_monitor import (ClusterMonitor, MonitorConfig,
                                            MonitorData, monitor_data_to_json)
-from repro.monitor.dashboard import render_dashboard
+from repro.monitor.dashboard import format_node_row, render_dashboard
 from repro.monitor.detect import flag_outliers, mad
 from repro.monitor.intervals import NodeInterval
 from repro.monitor.series import RingSeries, SeriesStore
@@ -53,9 +61,11 @@ from repro.monitor.timeline import integrated_timeline
 
 __all__ = [
     "Alert",
+    "BOTTLENECK",
     "ClusterMonitor",
     "HEALTH_KINDS",
     "INTERFERENCE",
+    "LOST_TIME_EVENTS",
     "MonitorConfig",
     "MonitorData",
     "NODE_LOST",
@@ -65,8 +75,10 @@ __all__ = [
     "NodeInterval",
     "RingSeries",
     "SeriesStore",
+    "StreamingBottleneckAttributor",
     "alerts_to_doc",
     "flag_outliers",
+    "format_node_row",
     "integrated_timeline",
     "mad",
     "monitor_data_to_json",

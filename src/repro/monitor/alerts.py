@@ -10,6 +10,13 @@ Two detector kinds, matching the two questions the paper's views answer:
   (Figure 2-B / Figure 7: "which process is responsible — and is it a
   real daemon or an intruder?").
 
+One attribution kind from the streaming lost-time attributor
+(:mod:`repro.monitor.bottleneck`):
+
+* ``bottleneck`` (:data:`BOTTLENECK`) — a node is simultaneously a
+  cross-node outlier on a lost-time kernel path *and* the cluster's
+  cumulative top blocker ("who is everyone waiting on?").
+
 Three collection-health kinds, the degraded-operation states a live
 cluster monitor needs (KTAUD is a daemon on a real node: it hangs, its
 node crashes, its reports get partitioned away):
@@ -37,6 +44,12 @@ NODE_OUTLIER = "node_outlier"
 
 #: A non-application process with significant interval activity.
 INTERFERENCE = "interference"
+
+#: The cluster-wide top lost-time blocker, per the streaming attributor
+#: (:mod:`repro.monitor.bottleneck`): the flagged node is both a
+#: cross-node outlier on the metric's kernel path *and* the cumulative
+#: lost-time leader.
+BOTTLENECK = "bottleneck"
 
 #: A node whose snapshot stream went quiet past the staleness threshold.
 NODE_STALE = "node_stale"
@@ -80,6 +93,11 @@ class Alert:
             return (f"[{t:9.3f}s] {self.node}: {state} — silent "
                     f"{self.value_s * 1e3:.0f} ms "
                     f"({self.score:.1f} extraction periods)")
+        if self.kind == BOTTLENECK:
+            return (f"[{t:9.3f}s] {self.node}: cluster bottleneck — "
+                    f"'{self.metric}' lost {self.value_s * 1e3:.1f} ms this "
+                    f"interval vs median {self.baseline_s * 1e3:.1f} ms "
+                    f"(score {self.score:.1f}), cumulative top blocker")
         if self.kind == INTERFERENCE:
             return (f"[{t:9.3f}s] {self.node}: interference by "
                     f"{self.comm}({self.pid}) — {self.value_s * 1e3:.1f} ms "

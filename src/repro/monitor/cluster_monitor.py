@@ -115,6 +115,10 @@ class MonitorConfig:
     #: recovery realignment) are excluded from cross-node outlier
     #: comparison — their per-interval values are not comparable.
     max_interval_periods: float = 1.6
+    #: size of the streaming lost-time attributor's (node, path) ranking
+    #: (:mod:`repro.monitor.bottleneck`); 0 disables the attributor,
+    #: keeping historical monitored runs byte-identical.
+    bottleneck_top_k: int = 0
 
 
 @dataclass
@@ -140,6 +144,9 @@ class MonitorData:
     dropped_deliveries: int = 0
     #: interval streams realigned after a node recovered.
     realigned: int = 0
+    #: streaming attributor's final top-K (node, path, lost_s) ranking;
+    #: empty when the attributor was off.
+    bottleneck: list[dict] = field(default_factory=list)
 
     def alert_nodes(self, kind: Optional[str] = None) -> list[str]:
         """Sorted distinct nodes with alerts (optionally of one kind)."""
@@ -166,6 +173,7 @@ class MonitorData:
             "node_health": dict(self.node_health),
             "dropped_deliveries": self.dropped_deliveries,
             "realigned": self.realigned,
+            "bottleneck": [dict(entry) for entry in self.bottleneck],
         }
 
 
@@ -192,6 +200,10 @@ class ClusterMonitor:
         self.config = config or MonitorConfig()
         self.series = SeriesStore(self.config.series_capacity)
         self.alerts: list[Alert] = []
+        self.attributor = None
+        if self.config.bottleneck_top_k > 0:
+            from repro.monitor.bottleneck import StreamingBottleneckAttributor
+            self.attributor = StreamingBottleneckAttributor(self.config)
         self.daemons: list[Ktaud] = []
         self.node_names: list[str] = []
         self.node_hz: dict[str, float] = {}
@@ -399,6 +411,8 @@ class ClusterMonitor:
         if index > self._max_closed:
             self._max_closed = index
         self._detect(index, bucket)
+        if self.attributor is not None:
+            self.alerts.extend(self.attributor.observe(index, bucket))
 
     # -- detection -------------------------------------------------------
     def _is_app(self, comm: str) -> bool:
@@ -504,4 +518,6 @@ class ClusterMonitor:
             alerts=sorted(self.alerts, key=sort_key),
             node_health=dict(self._health),
             dropped_deliveries=self.dropped_deliveries,
-            realigned=self.realigned)
+            realigned=self.realigned,
+            bottleneck=(self.attributor.top(self.config.bottleneck_top_k)
+                        if self.attributor is not None else []))

@@ -8,7 +8,9 @@ paper's cluster-wide "health view" of Figure 2-A.
 
 from __future__ import annotations
 
-from repro.monitor.cluster_monitor import MonitorData
+from typing import Optional
+
+from repro.monitor.cluster_monitor import ACTIVITY_METRIC, MonitorData
 from repro.sim.units import SEC
 
 #: Sparkline glyphs, lowest to highest.
@@ -33,6 +35,22 @@ def sparkline(values: list[float], vmax: float, width: int = 48) -> str:
     return "".join(cells).ljust(width)
 
 
+def format_node_row(node: str, name_w: int, values: list[float],
+                    vmax: float, width: int, flagged: bool,
+                    lost_s: Optional[float] = None) -> str:
+    """One per-node dashboard row: mark, name, sparkline, optional column.
+
+    The trailing wait/lost-time column renders **only** when ``lost_s``
+    is an actual value — rows without attribution data keep the
+    historical fixed shape instead of showing a misleading zero.
+    """
+    mark = "!" if flagged else " "
+    row = f" {mark}{node:<{name_w}} |{sparkline(values, vmax, width)}|"
+    if lost_s is not None:
+        row += f" {lost_s * 1e3:8.1f} ms lost"
+    return row
+
+
 def render_dashboard(data: MonitorData, width: int = 48) -> str:
     """Render a harvested monitored run as a terminal dashboard string."""
     lines: list[str] = []
@@ -48,6 +66,10 @@ def render_dashboard(data: MonitorData, width: int = 48) -> str:
     metrics = sorted({metric for per_node in data.series.values()
                       for metric in per_node})
     name_w = max((len(node) for node in data.nodes), default=4)
+    lost_by_node: dict[str, float] = {}
+    for entry in data.bottleneck:
+        lost_by_node[entry["node"]] = (lost_by_node.get(entry["node"], 0.0)
+                                       + entry["lost_s"])
     for metric in metrics:
         peak = max((value for node in data.nodes
                     for _t, value in data.series.get(node, {}).get(metric, [])),
@@ -58,9 +80,19 @@ def render_dashboard(data: MonitorData, width: int = 48) -> str:
             values = [v for _t, v in data.series.get(node, {}).get(metric, [])]
             flagged = any(a.node == node and a.metric == metric
                           for a in data.alerts)
-            mark = "!" if flagged else " "
-            lines.append(f" {mark}{node:<{name_w}} "
-                         f"|{sparkline(values, peak, width)}|")
+            # The wait/lost-time column rides on the whole-node activity
+            # block, and only for nodes the attributor has data for.
+            lost_s = (lost_by_node.get(node)
+                      if metric == ACTIVITY_METRIC else None)
+            lines.append(format_node_row(node, name_w, values, peak, width,
+                                         flagged, lost_s))
+    if data.bottleneck:
+        lines.append("")
+        lines.append(f"lost-time attribution (streaming top "
+                     f"{len(data.bottleneck)}):")
+        for entry in data.bottleneck:
+            lines.append(f"  {entry['node']:<{name_w}} {entry['path']:<12} "
+                         f"{entry['lost_s'] * 1e3:8.1f} ms")
     lines.append("")
     if data.alerts:
         lines.append(f"alerts ({len(data.alerts)}):")

@@ -81,6 +81,67 @@ class TestEventsWithin:
         assert events_within(self.timeline(), "nope") == []
 
 
+class TestEdgeCases:
+    def test_out_of_order_records_are_sorted(self):
+        # KTAUD drains per-CPU ring buffers independently, so the raw
+        # record stream is not globally timestamp-ordered.
+        udump = make_udump([(100, "MPI_Send()", True),
+                            (10, "rhs", True), (90, "rhs", False),
+                            (200, "MPI_Send()", False)])
+        ktrace = make_ktrace([
+            (180, "sys_writev", TraceKind.EXIT, 0),
+            (20, "do_page_fault", TraceKind.ENTRY, 0),
+            (120, "sys_writev", TraceKind.ENTRY, 0),
+            (80, "do_page_fault", TraceKind.EXIT, 0),
+        ])
+        merged = merge_traces(udump, ktrace)
+        assert [e.cycles for e in merged] == sorted(e.cycles for e in merged)
+        assert [(e.name, e.is_entry) for e in merged] == [
+            ("rhs", True), ("do_page_fault", True),
+            ("do_page_fault", False), ("rhs", False),
+            ("MPI_Send()", True), ("sys_writev", True),
+            ("sys_writev", False), ("MPI_Send()", False)]
+
+    def test_truncated_trace_after_pressure_loss(self):
+        # A TracePressure window wraps the ring buffer: the drain reports
+        # lost records and opens mid-interval, with exits whose entries
+        # were overwritten.  The merge must not invent or drop events.
+        udump = make_udump([(0, "MPI_Recv()", True),
+                            (500, "MPI_Recv()", False)])
+        ktrace = TraceDump(pid=1, lost=37, records=[
+            (40, "tcp_recvmsg", TraceKind.EXIT, 0),
+            (50, "sock_recvmsg", TraceKind.EXIT, 0),
+            (60, "sys_readv", TraceKind.EXIT, 0),
+            (100, "sys_readv", TraceKind.ENTRY, 0),
+            (400, "sys_readv", TraceKind.EXIT, 0),
+        ])
+        merged = merge_traces(udump, ktrace)
+        assert len(merged) == 7
+        window = events_within(merged, "MPI_Recv()")
+        assert [e.name for e in window[1:4]] == [
+            "tcp_recvmsg", "sock_recvmsg", "sys_readv"]
+        # rendering tolerates the leading orphan exits (depth never
+        # goes negative, later nesting stays correct)
+        text = render_timeline(merged, hz=1e9)
+        assert "sys_readv" in text
+
+    def test_pid_churn_between_dump_and_trace(self):
+        # A recycled pid: the kernel trace was drained under a different
+        # pid than the TAU dump reports.  Merging keys on timestamps
+        # alone, so the integrated timeline still assembles.
+        udump = make_udump([(10, "MPI_Send()", True),
+                            (90, "MPI_Send()", False)])
+        ktrace = TraceDump(pid=4242, lost=0, records=[
+            (20, "sys_writev", TraceKind.ENTRY, 0),
+            (80, "sys_writev", TraceKind.EXIT, 0),
+        ])
+        assert udump.pid != ktrace.pid
+        merged = merge_traces(udump, ktrace)
+        assert [(e.name, e.layer) for e in merged] == [
+            ("MPI_Send()", "user"), ("sys_writev", "kernel"),
+            ("sys_writev", "kernel"), ("MPI_Send()", "user")]
+
+
 class TestRenderTimeline:
     def test_renders_nesting(self):
         events = [

@@ -131,6 +131,63 @@ def test_run_replications_matches_serial():
     assert fanned == {seed: fingerprint(run_once(seed)) for seed in (3, 4)}
 
 
+# ---------------------------------------------------------------------------
+# Bottleneck reports
+# ---------------------------------------------------------------------------
+def run_bottleneck(seed, monitored=False):
+    """A traced run through the lost-time analyzer; returns the canonical
+    report JSON (plus the monitor JSON when the streaming attributor is on)."""
+    from repro.analysis.bottlenecks import report_to_json
+    from repro.experiments.bottleneck import run_bottleneck_lu
+
+    config = (MonitorConfig(period_ns=10 * MSEC, bottleneck_top_k=5)
+              if monitored else None)
+    result = run_bottleneck_lu(seed=seed, monitor_config=config)
+    monitor_json = (monitor_data_to_json(result.monitor)
+                    if result.monitor is not None else None)
+    return report_to_json(result.report), monitor_json
+
+
+#: SHA-256 of the canonical seed-1 small-LU bottleneck report.  Pins the
+#: whole attribution pipeline — wait extraction, message-flow matching,
+#: transitive charging, ranking — not just its determinism.
+BOTTLENECK_REPORT_SHA = \
+    "6c66993f58f3a1479ddac4351d6fa0e9169003ecbd6a05c4fcfaca5aa0acfa2e"
+
+
+def test_bottleneck_report_matches_golden():
+    import hashlib
+    report_json, _ = run_bottleneck(1)
+    digest = hashlib.sha256(report_json.encode("utf-8")).hexdigest()
+    assert digest == BOTTLENECK_REPORT_SHA, (
+        "bottleneck report changed; if intentional, update "
+        f"BOTTLENECK_REPORT_SHA to {digest}")
+
+
+def test_bottleneck_reports_bit_identical_serial_vs_parallel():
+    """Reports survive the worker round-trip byte-for-byte, repeated seeds
+    agree, and different seeds differ."""
+    seeds = [41, 42]
+    serial = [run_bottleneck(seed) for seed in seeds]
+    assert parallel_map(run_bottleneck, seeds, workers=2) == serial
+    assert run_bottleneck(41) == serial[0]
+    assert serial[0] != serial[1]
+
+
+def test_streaming_attributor_does_not_perturb_the_simulation():
+    """The attributor is host-side analysis: a monitored run produces the
+    same traces — hence byte-identical offline reports — with it on or
+    off (monitoring itself perturbs, so both runs are monitored)."""
+    from repro.analysis.bottlenecks import report_to_json
+    from repro.experiments.bottleneck import run_bottleneck_lu
+
+    plain = run_bottleneck_lu(seed=9,
+                              monitor_config=MonitorConfig(period_ns=10 * MSEC))
+    streamed_json, monitor_json = run_bottleneck(9, monitored=True)
+    assert report_to_json(plain.report) == streamed_json
+    assert monitor_json is not None and '"bottleneck":[' in monitor_json
+
+
 def run_faulted(seed):
     """A monitored run under an injected fault plan; returns the canonical
     JSON of the harvested monitor state plus the injection log."""

@@ -69,11 +69,12 @@ class TestDeterminismRules:
         # layer (whose wall-clock reads are confined to two suppressed
         # lines in repro.obs.runtime), the online monitor (whose
         # harvests are byte-compared across serial/parallel runs), and
-        # the fault layer (same plan + seed must replay bit-for-bit).
+        # the fault layer (same plan + seed must replay bit-for-bit),
+        # and the bottleneck analyzer (its reports are golden-pinned).
         from repro.lint.determinism import SCOPE
         assert SCOPE == ("repro.sim", "repro.kernel", "repro.core",
                          "repro.parallel", "repro.obs", "repro.monitor",
-                         "repro.faults")
+                         "repro.faults", "repro.analysis.bottlenecks")
 
     def test_wall_clock_in_copied_sim_module(self, tmp_path):
         # A file that *is* part of repro.sim (by path) gets the rule...
@@ -132,6 +133,28 @@ class TestApiRules:
         findings = run_on(tmp_path)
         assert locations(findings) == [("KTAU402", 1)]
         assert "repro.kernel" in findings[0].message
+
+    def test_subpackage_contract_tighter_than_parent(self, tmp_path):
+        # repro.analysis may import the monitor-free world at will, but
+        # the analysis.bottlenecks subpackage declares its own contract:
+        # monitor imports are violations *there*, while sibling analysis
+        # modules and the parent layer stay importable.
+        bdir = tmp_path / "repro" / "analysis" / "bottlenecks"
+        bdir.mkdir(parents=True)
+        (bdir / "evil.py").write_text(
+            "from repro.monitor.alerts import Alert\n"
+            "from repro.analysis.export import canonical_json\n"
+            "from repro.analysis.bottlenecks.waits import extract_waits\n")
+        findings = [f for f in run_on(tmp_path) if f.rule_id == "KTAU402"]
+        assert [(f.rule_id, f.line) for f in findings] == [("KTAU402", 1)]
+        assert "repro.analysis.bottlenecks" in findings[0].message
+
+    def test_parent_layer_may_import_scoped_subpackage(self, tmp_path):
+        adir = tmp_path / "repro" / "analysis"
+        (adir / "bottlenecks").mkdir(parents=True)
+        (adir / "uses.py").write_text(
+            "from repro.analysis.bottlenecks.report import build_report\n")
+        assert [f for f in run_on(tmp_path) if f.rule_id == "KTAU402"] == []
 
     def test_type_checking_imports_exempt(self, tmp_path):
         kdir = tmp_path / "repro" / "core"

@@ -37,6 +37,7 @@ PUBLIC_MODULES = [
     "repro.monitor", "repro.monitor.cluster_monitor", "repro.monitor.series",
     "repro.monitor.intervals", "repro.monitor.alerts", "repro.monitor.detect",
     "repro.monitor.timeline", "repro.monitor.dashboard",
+    "repro.monitor.bottleneck",
     "repro.faults", "repro.faults.plan", "repro.faults.injector",
     "repro.faults.retry", "repro.faults.chaos",
     "repro.analysis", "repro.analysis.profiles", "repro.analysis.views",
@@ -45,6 +46,9 @@ PUBLIC_MODULES = [
     "repro.analysis.callgraph", "repro.analysis.compensate",
     "repro.analysis.export", "repro.analysis.render",
     "repro.analysis.related_work",
+    "repro.analysis.bottlenecks", "repro.analysis.bottlenecks.waits",
+    "repro.analysis.bottlenecks.harvest", "repro.analysis.bottlenecks.report",
+    "repro.analysis.bottlenecks.render",
     "repro.experiments", "repro.experiments.common", "repro.experiments.chiba",
     "repro.experiments.fig2_controlled", "repro.experiments.fig3",
     "repro.experiments.fig4", "repro.experiments.fig5_6",
@@ -52,6 +56,7 @@ PUBLIC_MODULES = [
     "repro.experiments.fig9_10", "repro.experiments.table2",
     "repro.experiments.table3", "repro.experiments.table4",
     "repro.experiments.ionode", "repro.experiments.chaos",
+    "repro.experiments.bottleneck",
     "repro.cli",
 ]
 
