@@ -3,7 +3,7 @@ export PYTHONPATH := src
 
 .PHONY: test lint lint-json lint-sarif lint-graph lint-report check \
 	bench bench-smoke bench-guard obs-demo monitor-demo chaos-smoke \
-	bottlenecks-demo
+	bottlenecks-demo counters-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,13 +28,13 @@ lint-report:
 check: lint test
 
 bench:
-	$(PYTHON) benchmarks/bench.py --out BENCH_pr9.json
+	$(PYTHON) benchmarks/bench.py --out BENCH_pr10.json
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench.py --smoke --out bench_smoke.json
 
 bench-guard: bench-smoke
-	$(PYTHON) benchmarks/check_regression.py bench_smoke.json BENCH_pr9.json
+	$(PYTHON) benchmarks/check_regression.py bench_smoke.json BENCH_pr10.json
 
 chaos-smoke:
 	$(PYTHON) -m repro chaos --plan kill-and-partition \
@@ -53,3 +53,9 @@ monitor-demo:
 bottlenecks-demo:
 	$(PYTHON) -m repro analyze bottlenecks --experiment fig2 \
 		--report-out bottleneck_fig2.json
+
+# Exits non-zero unless the cache thrasher is flagged by the counter
+# dimension (COUNTER_OUTLIER) while every time-rate detector stays
+# silent — the §6 PMU-extension acceptance gate.
+counters-demo:
+	$(PYTHON) -m repro analyze counters --report-out counters_fig2.json

@@ -1,7 +1,7 @@
 """The committed performance harness: ``make bench``.
 
 Measures the things this substrate optimises and writes them to a JSON
-artifact (``BENCH_pr9.json`` at the repo root is the committed record):
+artifact (``BENCH_pr10.json`` at the repo root is the committed record):
 
 1. **Engine hot path** — the self-rescheduling churn loop from
    ``benchmarks/test_simulator_speed.py`` (50k events through the
@@ -32,6 +32,12 @@ artifact (``BENCH_pr9.json`` at the repo root is the committed record):
    bottleneck attributor (:mod:`repro.monitor.bottleneck`) off vs on,
    again with profile byte-identity checked: the attributor is
    host-side analysis and must not perturb the simulation.
+7. **Simulated PMCs** — an LU run with the counters build option off vs
+   on.  The counter model is pure per-charge integer arithmetic with no
+   events of its own, so the wall-time delta should be small and —
+   after stripping the counter sections from the counters-on export —
+   the *time* profiles must byte-compare identical: counting cache
+   misses must never change what the clock says.
 
 Honesty note: speedup is reported next to ``cpu_count`` and a host
 fingerprint (CPU model, python version).  On a single-CPU host the
@@ -549,6 +555,66 @@ def bench_bottleneck_overhead(rounds: int) -> dict:
     }
 
 
+def bench_counters_overhead(rounds: int) -> dict:
+    """LU wall time with the simulated-PMC build option off vs on.
+
+    Counter advancement is integer arithmetic on the existing
+    time-charging paths — no events, no RNG draws, no extra overhead
+    cycles — so ``overhead_pct`` measures pure host-side bookkeeping
+    and ``time_profiles_identical`` must be True: the counters-on
+    export, with the counter sections stripped, byte-compares against
+    the counters-off export (simulated time is untouched).
+    """
+    from repro.core.config import KtauBuildConfig
+
+    def lu_run(counters: bool) -> tuple[float, str]:
+        t0 = time.perf_counter()
+        c = make_chiba(nnodes=4, seed=1,
+                       ktau=KtauBuildConfig.full(counters=counters))
+        job = launch_mpi_job(c, 8, lu_app(SWEEP_LU),
+                             placement=block_placement(2, 8))
+        job.run(limit_s=600)
+        payload = profiles_to_json(harvest_job(job))
+        c.teardown()
+        return time.perf_counter() - t0, payload
+
+    off: list[tuple[float, str]] = []
+    on: list[tuple[float, str]] = []
+    for _ in range(rounds):  # interleaved A/B, same-minute baseline
+        off.append(lu_run(False))
+        on.append(lu_run(True))
+    off_s = min(t for t, _ in off)
+    on_s = min(t for t, _ in on)
+
+    def strip_counters(payload: str) -> str:
+        doc = json.loads(payload)
+
+        def scrub(node) -> None:
+            if isinstance(node, dict):
+                node.pop("pmc", None)
+                if isinstance(node.get("counters"), dict):
+                    node["counters"] = {}
+                for value in node.values():
+                    scrub(value)
+            elif isinstance(node, list):
+                for value in node:
+                    scrub(value)
+
+        scrub(doc)
+        return json.dumps(doc, sort_keys=True)
+
+    baseline = strip_counters(off[0][1])
+    return {
+        "rounds": rounds,
+        "lu_counters_off_wall_s": off_s,
+        "lu_counters_on_wall_s": on_s,
+        "overhead_pct": 100.0 * (on_s - off_s) / off_s,
+        "time_profiles_identical":
+            all(strip_counters(p) == baseline for _, p in on)
+            and all(strip_counters(p) == baseline for _, p in off),
+    }
+
+
 def metrics_snapshot(events: int) -> dict:
     """Harness metrics for one instrumented churn + one LU replication."""
     from repro import obs
@@ -602,6 +668,7 @@ def main(argv: list[str] | None = None) -> int:
                                                    churn_rounds),
         "faults_overhead": bench_faults_overhead(churn_events, churn_rounds),
         "bottleneck_overhead": bench_bottleneck_overhead(churn_rounds),
+        "counters_overhead": bench_counters_overhead(churn_rounds),
         "metrics": metrics_snapshot(churn_events),
     }
 
@@ -614,7 +681,8 @@ def main(argv: list[str] | None = None) -> int:
                     for run in result["parallel_sweep"]["workers"].values())
     identical = identical \
         and result["faults_overhead"]["lu_bit_identical_to_plain"] \
-        and result["bottleneck_overhead"]["profiles_bit_identical"]
+        and result["bottleneck_overhead"]["profiles_bit_identical"] \
+        and result["counters_overhead"]["time_profiles_identical"]
     return 0 if identical else 1
 
 

@@ -1,7 +1,7 @@
 """CI bench regression guard: ``make bench-guard``.
 
 Compares a fresh (usually ``--smoke``) bench run against the committed
-``BENCH_pr9.json``.  Raw wall times are NOT compared — CI machines and
+``BENCH_pr10.json``.  Raw wall times are NOT compared — CI machines and
 the artifact's host differ, and cross-host wall clocks are provenance,
 not baselines (see ``meta.host``).  What IS comparable is the
 *same-process ratio* of the calendar-queue engine to the in-harness
@@ -12,8 +12,9 @@ Fails (exit 1) if either churn shape's ``speedup_vs_heap_baseline``
 drops more than ``TOLERANCE`` below the committed ratio — i.e. the
 calendar queue lost more than 25% of its measured advantage — or if
 the fresh run's bit-identity booleans (parallel fan-out, empty fault
-plan, streaming bottleneck attributor) are not all True: those are
-host-independent correctness claims, not timings.
+plan, streaming bottleneck attributor, counters-on time profiles) are
+not all True: those are host-independent correctness claims, not
+timings.
 
 Usage::
 
@@ -34,7 +35,7 @@ def main(argv: list[str]) -> int:
         print(__doc__)
         return 2
     fresh_path = argv[0]
-    committed_path = argv[1] if len(argv) > 1 else "BENCH_pr9.json"
+    committed_path = argv[1] if len(argv) > 1 else "BENCH_pr10.json"
     with open(fresh_path) as fh:
         fresh = json.load(fh)
     with open(committed_path) as fh:
@@ -53,6 +54,7 @@ def main(argv: list[str]) -> int:
     identity_rows = (
         ("faults_overhead", "lu_bit_identical_to_plain"),
         ("bottleneck_overhead", "profiles_bit_identical"),
+        ("counters_overhead", "time_profiles_identical"),
     )
     for section, key in identity_rows:
         ok = bool(fresh.get(section, {}).get(key, False))

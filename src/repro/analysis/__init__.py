@@ -13,7 +13,10 @@ from repro.analysis.stats import kernel_event_stats, user_event_stats
 from repro.analysis.callgraph import build_merged_callgraph
 from repro.analysis.tracestats import cross_validate, reduce_trace
 from repro.analysis.compensate import compensate
+from repro.analysis.counterview import (counter_rate_table,
+                                        merged_time_counter_view)
 
 __all__ = ["JobData", "RankData", "harvest_job", "cdf_points", "histogram",
            "kernel_event_stats", "user_event_stats", "build_merged_callgraph",
-           "cross_validate", "reduce_trace", "compensate"]
+           "cross_validate", "reduce_trace", "compensate",
+           "counter_rate_table", "merged_time_counter_view"]

@@ -49,6 +49,7 @@ def compensate(dump: TaskProfileDump,
     out.counters = dict(dump.counters)
     out.context_pairs = dict(dump.context_pairs)
     out.edges = dict(dump.edges)
+    out.pmc = dump.pmc  # PMCs measure work done, not overhead: pass through
 
     # descendant event counts per event, from the (folded) call graph
     children: dict[str, set[str]] = {}

@@ -90,7 +90,7 @@ def to_chrome_trace(events_by_process: dict[str, tuple[list[MergedEvent], float]
 def _kprofile_doc(dump: Optional[TaskProfileDump]) -> Optional[dict]:
     if dump is None:
         return None
-    return {
+    doc = {
         "pid": dump.pid,
         "comm": dump.comm,
         "perf": {name: list(v) for name, v in dump.perf.items()},
@@ -102,6 +102,11 @@ def _kprofile_doc(dump: Optional[TaskProfileDump]) -> Optional[dict]:
         "edges": {f"{parent}\t{name}": list(v)
                   for (parent, name), v in dump.edges.items()},
     }
+    # Only present on counters-enabled builds, so counters-off output is
+    # byte-identical to the historical (pre-PMC) encoding.
+    if dump.pmc is not None:
+        doc["pmc"] = list(dump.pmc)
+    return doc
 
 
 def _uprofile_doc(dump: Optional[TauProfileDump]) -> Optional[dict]:

@@ -10,6 +10,12 @@
 * :func:`interval_view` — the delta between two consecutive KTAUD
   snapshots, turning lifetime totals into per-interval rates (what an
   *online* monitor renders, instead of bars that only ever grow).
+* :func:`pmc_interval_view` — the counter-dimension sibling: per-pid
+  lifetime PMC deltas between snapshots, with the same pid-churn reset
+  tolerance.
+* :func:`merged_counter_view` — one process's per-event time *and*
+  counter columns side by side (delegates to
+  :mod:`repro.analysis.counterview`).
 """
 
 from __future__ import annotations
@@ -99,6 +105,44 @@ def interval_view(prev: Optional[dict[int, TaskProfileDump]],
         if deltas:
             out[pid] = deltas
     return out
+
+
+def pmc_interval_view(prev: Optional[dict[int, TaskProfileDump]],
+                      curr: dict[int, TaskProfileDump]
+                      ) -> dict[int, tuple[int, int, int, int, int]]:
+    """Per-pid lifetime-PMC deltas between two consecutive snapshots.
+
+    Each delta is ``(cycles, instructions, l2_misses, minflt, majflt)``
+    executed during the interval.  Mirrors :func:`interval_view`'s
+    counter-reset tolerance: a pid whose *cycle* counter went backwards
+    was reused by a fresh process, so its current totals are taken as
+    the delta instead of producing negative counters.  Pids without PMC
+    data (counters build option off) and all-zero deltas are omitted.
+    """
+    out: dict[int, tuple[int, int, int, int, int]] = {}
+    for pid, dump in curr.items():
+        if dump.pmc is None:
+            continue
+        before = prev.get(pid) if prev is not None else None
+        b = before.pmc if before is not None and before.pmc is not None \
+            else (0, 0, 0, 0, 0)
+        if dump.pmc[0] < b[0]:  # counter reset: exited pid, id reused
+            b = (0, 0, 0, 0, 0)
+        delta = tuple(c - p for c, p in zip(dump.pmc, b))
+        if any(delta):
+            out[pid] = delta
+    return out
+
+
+def merged_counter_view(dump: TaskProfileDump, hz: float):
+    """Per-event time+counter rows for one process (sorted by excl time).
+
+    Thin delegation so callers browsing views find the counter dimension
+    next to the time views; see
+    :func:`repro.analysis.counterview.merged_time_counter_view`.
+    """
+    from repro.analysis.counterview import merged_time_counter_view
+    return merged_time_counter_view(dump, hz)
 
 
 def group_breakdown(dump: TaskProfileDump, hz: float) -> dict[str, float]:

@@ -376,7 +376,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     """Post-mortem analytics over traced runs.  ``bottlenecks`` runs a
     traced experiment, prints the lost-time attribution report, and for
     the fig2 scenario exits 1 unless the perturbed node is the top
-    blocker (the CI demo gate)."""
+    blocker (the CI demo gate).  ``counters`` runs the §6 counter-view
+    demo and exits 1 unless the cache thrasher is caught by the counter
+    dimension alone."""
+    if args.what == "counters":
+        return _cmd_analyze_counters(args)
     from repro.analysis.bottlenecks import render_report, report_to_json
     from repro.experiments import bottleneck as bn
     from repro.monitor import BOTTLENECK, MonitorConfig
@@ -422,6 +426,31 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             fh.write(report_to_json(report))
         log.info("wrote bottleneck report to %s", args.report_out)
     return 0 if ok else 1
+
+
+def _cmd_analyze_counters(args: argparse.Namespace) -> int:
+    """The counter-dimension demo behind ``repro analyze counters``:
+    a monitored counters-build LU run with a cache thrasher that only
+    the PMU miss-rate detector can see.  Exits 1 unless counter-only
+    detection holds (the CI gate for the §6 extension).  Ignores
+    ``--period-ms``/``--top-k`` — the demo runs the default monitor
+    configuration so nothing is tuned toward its conclusion."""
+    from repro.analysis.export import canonical_json
+    from repro.experiments.counters_demo import render_demo, run_counters_demo
+
+    log.info("running the monitored counters demo ...")
+    result = run_counters_demo(seed=args.seed)
+    print(render_demo(result))
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            fh.write(canonical_json(result.to_doc()))
+        log.info("wrote counters report to %s", args.report_out)
+    if not result.counter_only_detection:
+        log.error("counter-only detection failed: counter outliers on %s, "
+                  "time outliers on %s", result.counter_outlier_nodes,
+                  result.time_outlier_nodes)
+        return 1
+    return 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -581,8 +610,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = add_parser("analyze",
                          help="post-mortem analytics over traced runs")
-    analyze.add_argument("what", choices=("bottlenecks",),
-                         help="which analysis to run")
+    analyze.add_argument("what", choices=("bottlenecks", "counters"),
+                         help="which analysis to run (counters = the §6 "
+                              "PMU-dimension demo)")
     analyze.add_argument("--experiment",
                          choices=("fig2", "noise", "chiba", "lu"),
                          default="fig2",

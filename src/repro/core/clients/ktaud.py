@@ -145,7 +145,14 @@ class Ktaud:
             try:
                 profiles = self.lib.read_profiles(scope=scope, pids=self.pids,
                                                   include_zombies=False)
+                # Per-entry wire sizes: perf 28, atomic 36, counter 52
+                # bytes, plus 41 for a task's lifetime PMC block.  The
+                # counter terms are zero when the counters build option
+                # is off, so enabling them is what makes KTAUD's
+                # extraction perturbation grow with the richer payload.
                 volume = sum(len(d.perf) * 28 + len(d.atomic) * 36
+                             + len(d.counters) * 52
+                             + (41 if d.pmc is not None else 0)
                              for d in profiles.values())
                 snapshot = KtaudSnapshot(time_ns=ctx.now, profiles=profiles)
                 if self.drain_traces:

@@ -65,9 +65,9 @@ class KtauBuildConfig:
                                tracing=False, merge_context=False)
 
     @staticmethod
-    def full(tracing: bool = False) -> "KtauBuildConfig":
+    def full(tracing: bool = False, counters: bool = False) -> "KtauBuildConfig":
         """All groups compiled in."""
-        return KtauBuildConfig(tracing=tracing)
+        return KtauBuildConfig(tracing=tracing, counters=counters)
 
     def with_tracing(self, entries: int = 4096) -> "KtauBuildConfig":
         return replace(self, tracing=True, trace_buffer_entries=entries)

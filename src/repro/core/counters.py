@@ -1,24 +1,45 @@
 """Simulated hardware performance counters (§6 future work:
 "performance counter access to KTAU").
 
-Real KTAU would read PMCs (instructions retired, cache misses) alongside
-the TSC at each entry/exit.  The simulated equivalent maintains per-task
-counters advanced by the CPU executor as it charges time, using
-mode-specific rates: user code retires more instructions per cycle than
-kernel code, and kernel paths (pointer-chasing, device access) miss the
-L2 more per kilocycle.  KTAU snapshots these counters at event
-boundaries, yielding per-event inclusive instruction/miss counts that
+Real KTAU would read PMCs (instructions retired, cache misses, page
+faults) alongside the TSC at each entry/exit.  The simulated equivalent
+maintains per-task counters advanced by the CPU executor as it charges
+time, using mode-specific rates: user code retires more instructions per
+cycle than kernel code, and kernel paths (pointer-chasing, device
+access) miss the L2 more per kilocycle.  KTAU snapshots these counters
+at event boundaries, yielding per-event inclusive counter deltas that
 merge with cycle profiles.
+
+Two refinements beyond the mode split:
+
+* **Per-path rates** (:data:`PATH_RATES`): interrupt- and network-path
+  spans advance the counters at rates characteristic of the routine —
+  device access misses hard, softirq dispatch less so, and the TCP
+  receive path derives its miss rate from the SMP cache-locality model
+  (:func:`scale_miss_rate` applies the same ``cache_mismatch_factor``
+  that dilates ``tcp_v4_rcv``'s processing time when the servicing CPU
+  differs from the consumer's).
+* **Executed-cycle tracking**: the counters carry their own cycle count
+  (cycles the task actually executed, as opposed to TSC deltas that
+  include blocked time), so IPC and miss-per-kilocycle rates have an
+  honest denominator.
+
+Counter advancement is pure integer arithmetic driven by already-charged
+simulated time: it schedules no events, charges no overhead, and reads
+no entropy, so enabling counters never changes simulated timing — the
+time profile of a counters-on run is byte-identical to the same run with
+counters off (asserted by the bench identity row).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
 class PmcRates:
-    """Counter-advance rates for one execution mode."""
+    """Counter-advance rates for one execution mode or kernel path."""
 
     ipc: float  # instructions retired per cycle
     l2_miss_per_kcycle: float  # L2 misses per 1000 cycles
@@ -28,20 +49,78 @@ class PmcRates:
 USER_RATES = PmcRates(ipc=0.90, l2_miss_per_kcycle=1.2)
 KERNEL_RATES = PmcRates(ipc=0.55, l2_miss_per_kcycle=3.0)
 
+#: Per-path rate model for instrumented kernel routines.  Paths absent
+#: from the table advance at :data:`KERNEL_RATES`.  Device-touching
+#: interrupt paths miss hardest; softirq dispatch is in between; the
+#: TCP paths start from warm-cache rates and are scaled by the SMP
+#: cache-mismatch model at span-construction time (kernel/net/tcp.py).
+PATH_RATES: dict[str, PmcRates] = {
+    "do_IRQ": PmcRates(ipc=0.45, l2_miss_per_kcycle=4.0),
+    "eth_interrupt": PmcRates(ipc=0.40, l2_miss_per_kcycle=5.0),
+    "smp_apic_timer_interrupt": PmcRates(ipc=0.45, l2_miss_per_kcycle=3.5),
+    "timer_interrupt": PmcRates(ipc=0.45, l2_miss_per_kcycle=3.5),
+    "do_softirq": PmcRates(ipc=0.50, l2_miss_per_kcycle=3.2),
+    "net_rx_action": PmcRates(ipc=0.50, l2_miss_per_kcycle=3.0),
+    "run_timer_softirq": PmcRates(ipc=0.55, l2_miss_per_kcycle=2.5),
+    "tcp_v4_rcv": PmcRates(ipc=0.60, l2_miss_per_kcycle=2.5),
+    "tcp_sendmsg": PmcRates(ipc=0.65, l2_miss_per_kcycle=2.2),
+    "ip_queue_xmit": PmcRates(ipc=0.60, l2_miss_per_kcycle=2.0),
+    "dev_queue_xmit": PmcRates(ipc=0.50, l2_miss_per_kcycle=4.5),
+    "do_page_fault": PmcRates(ipc=0.40, l2_miss_per_kcycle=8.0),
+}
+
+
+def rates_for_path(name: str) -> PmcRates:
+    """The rate model for one kernel path (default :data:`KERNEL_RATES`)."""
+    return PATH_RATES.get(name, KERNEL_RATES)
+
+
+def scale_miss_rate(rates: PmcRates, factor: float) -> PmcRates:
+    """``rates`` with the L2 miss rate scaled by ``factor``.
+
+    The SMP cache-locality hook: when received data crosses CPUs the
+    receive path pays cross-CPU cache traffic, so the same mismatch
+    factor that dilates its processing time inflates its miss rate.
+    """
+    return PmcRates(ipc=rates.ipc,
+                    l2_miss_per_kcycle=rates.l2_miss_per_kcycle * factor)
+
 
 class TaskCounters:
-    """Per-task retired-instruction and L2-miss counters."""
+    """Per-task simulated PMCs: cycles, instructions, L2 misses, faults."""
 
-    __slots__ = ("insn_retired", "l2_misses")
+    __slots__ = ("cycles", "insn_retired", "l2_misses",
+                 "pgf_minor", "pgf_major")
 
     def __init__(self) -> None:
+        self.cycles = 0
         self.insn_retired = 0
         self.l2_misses = 0
+        self.pgf_minor = 0
+        self.pgf_major = 0
 
-    def advance(self, cycles: int, kernel_mode: bool) -> None:
-        rates = KERNEL_RATES if kernel_mode else USER_RATES
+    def advance(self, cycles: int, kernel_mode: bool,
+                rates: Optional[PmcRates] = None) -> None:
+        """Advance by ``cycles`` of executed time.
+
+        ``rates`` overrides the mode default — per-path rates for
+        interrupt/network spans, or a per-task user-mode override (how
+        the cache-thrashing interference workload is modelled).
+        """
+        if rates is None:
+            rates = KERNEL_RATES if kernel_mode else USER_RATES
+        self.cycles += cycles
         self.insn_retired += int(cycles * rates.ipc)
         self.l2_misses += int(cycles * rates.l2_miss_per_kcycle) // 1000
 
-    def read(self) -> tuple[int, int]:
-        return (self.insn_retired, self.l2_misses)
+    def fault(self, major: bool = False) -> None:
+        """Count one page fault (minor unless ``major``)."""
+        if major:
+            self.pgf_major += 1
+        else:
+            self.pgf_minor += 1
+
+    def read(self) -> tuple[int, int, int, int, int]:
+        """PMC snapshot: (cycles, instructions, L2 misses, minflt, majflt)."""
+        return (self.cycles, self.insn_retired, self.l2_misses,
+                self.pgf_minor, self.pgf_major)

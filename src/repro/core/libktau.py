@@ -151,11 +151,14 @@ class LibKtau:
                 count, excl = dump.context_pairs[(ctx, name)]
                 lines.append(f"ctx {ctx} {name} {count} {excl}")
             for name in sorted(dump.counters):
-                count, insn, l2 = dump.counters[name]
-                lines.append(f"cnt {name} {count} {insn} {l2}")
+                count, cycles, insn, l2, minflt, majflt = dump.counters[name]
+                lines.append(f"cnt {name} {count} {cycles} {insn} {l2} "
+                             f"{minflt} {majflt}")
             for (parent, name) in sorted(dump.edges):
                 count, incl = dump.edges[(parent, name)]
                 lines.append(f"edge {parent or '-'} {name} {count} {incl}")
+            if dump.pmc is not None:
+                lines.append("pmc " + " ".join(str(v) for v in dump.pmc))
         return "\n".join(lines) + "\n"
 
     @staticmethod
@@ -204,7 +207,12 @@ class LibKtau:
             current.context_pairs[(ctx, name)] = (int(parts[3]), int(parts[4]))
         elif tag == "cnt":
             current.counters[parts[1]] = (int(parts[2]), int(parts[3]),
-                                          int(parts[4]))
+                                          int(parts[4]), int(parts[5]),
+                                          int(parts[6]), int(parts[7]))
+        elif tag == "pmc":
+            if len(parts) != 6:
+                raise ValueError("pmc record needs 5 counter values")
+            current.pmc = tuple(int(v) for v in parts[1:6])
         elif tag == "edge":
             parent = "" if parts[1] == "-" else parts[1]
             current.edges[(parent, parts[2])] = (int(parts[3]), int(parts[4]))

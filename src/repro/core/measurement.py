@@ -109,15 +109,16 @@ class _StackEntry:
     """One activation-stack frame."""
 
     __slots__ = ("event_id", "entry_cycles", "child_cycles", "user_ctx",
-                 "entry_insn", "entry_l2")
+                 "entry_pmc")
 
     def __init__(self, event_id: int, entry_cycles: int, user_ctx: Optional[str]):
         self.event_id = event_id
         self.entry_cycles = entry_cycles
         self.child_cycles = 0
         self.user_ctx = user_ctx
-        self.entry_insn = 0
-        self.entry_l2 = 0
+        #: PMC register snapshot taken at entry (cycles, insn, l2 misses,
+        #: minor faults, major faults); None when counters are off
+        self.entry_pmc: Optional[tuple[int, int, int, int, int]] = None
 
 
 class KtauTaskData:
@@ -166,10 +167,12 @@ class KtauTaskData:
         #: Set when the process dies; further recording is a no-op so that
         #: late generator teardown cannot corrupt the zombie profile.
         self.frozen = False
-        #: callable returning (instructions, l2 misses), installed by the
+        #: callable returning the task's PMC snapshot (cycles, insn,
+        #: l2 misses, minor faults, major faults), installed by the
         #: kernel at registration when the counters extension is built in
         self.counter_source = None
-        #: event_id -> [count, incl instructions, incl l2 misses]
+        #: event_id -> [count, incl cycles, incl instructions,
+        #: incl l2 misses, incl minor faults, incl major faults]
         self.counter_profile: dict[int, list[int]] = {}
         #: (parent key, event_id) -> [count, incl cycles]; parent key is
         #: "K:<event>" for a kernel parent, "U:<routine>" for the user
@@ -240,7 +243,8 @@ class Ktau:
         self._firings = 0
         self._cache_misses = 0
         self._cache_invalidations = 0
-        self._obs_base = [0, 0, 0]
+        self._counter_samples = 0
+        self._obs_base = [0, 0, 0, 0]
 
     # ------------------------------------------------------------------
     # Process life-cycle (engaged on fork/exit)
@@ -332,7 +336,7 @@ class Ktau:
         now = self.clock.read() if at_cycles is None else at_cycles
         frame = _StackEntry(event_id, now, data.user_context)
         if self.build.counters and data.counter_source is not None:
-            frame.entry_insn, frame.entry_l2 = data.counter_source()
+            frame.entry_pmc = data.counter_source()
         data.stack.append(frame)
         data.active_counts[event_id] = data.active_counts.get(event_id, 0) + 1
         cost = 0 if self._no_overhead else self.overhead.start_cycles()
@@ -401,16 +405,23 @@ class Ktau:
             else:
                 pair[0] += 1
                 pair[1] += excl
-        if self.build.counters and data.counter_source is not None:
-            insn, l2 = data.counter_source()
+        if self.build.counters and data.counter_source is not None \
+                and frame.entry_pmc is not None:
+            pmc = data.counter_source()
+            base = frame.entry_pmc
             stats = data.counter_profile.get(event_id)
             if stats is None:
                 data.counter_profile[event_id] = [
-                    1, insn - frame.entry_insn, l2 - frame.entry_l2]
+                    1, pmc[0] - base[0], pmc[1] - base[1], pmc[2] - base[2],
+                    pmc[3] - base[3], pmc[4] - base[4]]
             else:
                 stats[0] += 1
-                stats[1] += insn - frame.entry_insn
-                stats[2] += l2 - frame.entry_l2
+                stats[1] += pmc[0] - base[0]
+                stats[2] += pmc[1] - base[1]
+                stats[3] += pmc[2] - base[2]
+                stats[4] += pmc[3] - base[3]
+                stats[5] += pmc[4] - base[4]
+            self._counter_samples += 1
         if self.build.callgraph:
             if data.stack:
                 parent = f"K:{self.registry.name_of(data.stack[-1].event_id)}"
@@ -482,13 +493,16 @@ class Ktau:
         firings = self._firings
         misses = self._cache_misses
         invalidations = self._cache_invalidations
+        counter_samples = self._counter_samples
         REGISTRY.counter("ktau.firings").inc(firings - base[0])
         REGISTRY.counter("ktau.firing_cache_misses").inc(misses - base[1])
         REGISTRY.counter("ktau.firing_cache_hits").inc(
             (firings - misses) - (base[0] - base[1]))
         REGISTRY.counter("ktau.cache_invalidations").inc(
             invalidations - base[2])
-        self._obs_base = [firings, misses, invalidations]
+        REGISTRY.counter("ktau.counter_samples").inc(
+            counter_samples - base[3])
+        self._obs_base = [firings, misses, invalidations, counter_samples]
         if data is not None:
             REGISTRY.counter("ktau.tasks_exited").inc()
             REGISTRY.counter("ktau.unmatched_exits").inc(data.unmatched_exits)

@@ -17,12 +17,20 @@ Layout (little-endian)::
         I nperf   | nperf   * (I id | Q count | Q incl | Q excl)
         I natomic | natomic * (I id | Q count | Q sum | Q min | Q max)
         I nctx    | nctx    * (B len | ctx | I id | Q count | Q excl)
-        I ncnt    | ncnt    * (I id | Q count | Q insn | Q l2miss)
+        I ncnt    | ncnt    * (I id | Q count | Q cycles | Q insn
+                               | Q l2miss | Q minflt | Q majflt)
         I nedge   | nedge   * (B len | parent | I id | Q count | Q incl)
+        B has_pmc | has_pmc * (Q cycles | Q insn | Q l2miss
+                               | Q minflt | Q majflt)
 
 (The counter and call-graph sections are the §6 extensions; they are
-always present in version 2 and simply empty when the corresponding
-build options are off.)
+always present and simply empty when the corresponding build options
+are off.  Version 3 widened the counter entries from (insn, l2) to the
+full five-dimensional PMC vector and appended the per-task lifetime PMC
+block — the task's raw counter register values at pack time, which let
+user-space compute rates over *all* executed cycles, not only the
+kernel spans bracketed by instrumentation.  Header flag bit 0x1 records
+whether any task in the snapshot carries counters.)
 
 Trace buffers use a separate, simpler layout::
 
@@ -41,14 +49,18 @@ from repro.core.tracebuf import TraceKind, TraceRecord
 
 MAGIC_PROFILE = b"KTAU"
 MAGIC_TRACE = b"KTRC"
-VERSION = 2
+VERSION = 3
+
+#: Header flag bit: at least one task in this snapshot has PMC data.
+FLAG_COUNTERS = 0x1
 
 _HDR = struct.Struct("<4sHHII")
 _MAP_ENTRY = struct.Struct("<I")
 _PERF_ENTRY = struct.Struct("<IQQQ")
 _ATOMIC_ENTRY = struct.Struct("<IQQQQ")
 _CTX_FIXED = struct.Struct("<IQQ")
-_COUNTER_ENTRY = struct.Struct("<IQQQ")
+_COUNTER_ENTRY = struct.Struct("<IQQQQQQ")
+_PMC_BLOCK = struct.Struct("<QQQQQ")
 _EDGE_FIXED = struct.Struct("<IQQ")
 _TASK_FIXED = struct.Struct("<I")
 _U32 = struct.Struct("<I")
@@ -95,11 +107,16 @@ class TaskProfileDump:
     context_pairs: dict[tuple[str, str], tuple[int, int]] = field(default_factory=dict)
     #: event name -> group name (from the embedded mapping table)
     groups: dict[str, str] = field(default_factory=dict)
-    #: event name -> (count, inclusive instructions, inclusive L2 misses)
-    counters: dict[str, tuple[int, int, int]] = field(default_factory=dict)
+    #: event name -> (count, inclusive cycles, instructions, L2 misses,
+    #: minor faults, major faults) — all inclusive deltas
+    counters: dict[str, tuple[int, int, int, int, int, int]] = field(default_factory=dict)
     #: (parent key, event name) -> (count, inclusive cycles); parent key
     #: is "K:<event>", "U:<routine>", or "" for a root activation
     edges: dict[tuple[str, str], tuple[int, int]] = field(default_factory=dict)
+    #: lifetime PMC totals at pack time — (cycles, instructions,
+    #: L2 misses, minor faults, major faults); None when the counters
+    #: build option is off for this task
+    pmc: tuple[int, int, int, int, int] | None = None
 
 
 @dataclass
@@ -119,7 +136,12 @@ def pack_profiles(tasks: dict[int, KtauTaskData], registry: EventRegistry) -> by
     """Serialise a profile snapshot plus the event-mapping table."""
     out = bytearray()
     mapping = registry.mapping_table()
-    out.extend(_HDR.pack(MAGIC_PROFILE, VERSION, 0, len(tasks), len(mapping)))
+    flags = 0
+    for data in tasks.values():
+        if data.counter_source is not None:
+            flags |= FLAG_COUNTERS
+            break
+    out.extend(_HDR.pack(MAGIC_PROFILE, VERSION, flags, len(tasks), len(mapping)))
     for event_id, name, group in mapping:
         out.extend(_MAP_ENTRY.pack(event_id))
         _pack_str(out, name)
@@ -144,13 +166,19 @@ def pack_profiles(tasks: dict[int, KtauTaskData], registry: EventRegistry) -> by
             out.extend(_CTX_FIXED.pack(event_id, count, excl))
         out.extend(_U32.pack(len(data.counter_profile)))
         for event_id in sorted(data.counter_profile):
-            count, insn, l2 = data.counter_profile[event_id]
-            out.extend(_COUNTER_ENTRY.pack(event_id, count, insn, l2))
+            count, cycles, insn, l2, minflt, majflt = data.counter_profile[event_id]
+            out.extend(_COUNTER_ENTRY.pack(event_id, count, cycles, insn, l2,
+                                           minflt, majflt))
         out.extend(_U32.pack(len(data.callgraph)))
         for (parent, event_id) in sorted(data.callgraph):
             count, incl = data.callgraph[(parent, event_id)]
             _pack_str(out, parent)
             out.extend(_EDGE_FIXED.pack(event_id, count, incl))
+        if data.counter_source is not None:
+            out.append(1)
+            out.extend(_PMC_BLOCK.pack(*data.counter_source()))
+        else:
+            out.append(0)
     return bytes(out)
 
 
@@ -255,9 +283,9 @@ def unpack_profiles(buf: bytes) -> dict[int, TaskProfileDump]:
         for _ in range(ncnt):
             if off + _COUNTER_ENTRY.size > len(buf):
                 raise WireError("truncated counter entry")
-            event_id, count, insn, l2 = _COUNTER_ENTRY.unpack_from(buf, off)
+            entry = _COUNTER_ENTRY.unpack_from(buf, off)
             off += _COUNTER_ENTRY.size
-            dump.counters[name_of(event_id)] = (count, insn, l2)
+            dump.counters[name_of(entry[0])] = entry[1:]
         if off + _U32.size > len(buf):
             raise WireError("truncated edge count")
         (nedge,) = _U32.unpack_from(buf, off)
@@ -269,6 +297,15 @@ def unpack_profiles(buf: bytes) -> dict[int, TaskProfileDump]:
             event_id, count, incl = _EDGE_FIXED.unpack_from(buf, off)
             off += _EDGE_FIXED.size
             dump.edges[(parent, name_of(event_id))] = (count, incl)
+        if off >= len(buf):
+            raise WireError("truncated pmc presence byte")
+        has_pmc = buf[off]
+        off += 1
+        if has_pmc:
+            if off + _PMC_BLOCK.size > len(buf):
+                raise WireError("truncated pmc block")
+            dump.pmc = _PMC_BLOCK.unpack_from(buf, off)
+            off += _PMC_BLOCK.size
         dumps[pid] = dump
     return dumps
 

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.core.counters import rates_for_path
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
     from repro.kernel.task import Task
@@ -62,18 +64,23 @@ class KSpan:
 
     ``cost_ns`` is this routine's *own* (exclusive) work; children execute
     after it, inside the routine.  ``atomics`` are (point-name, value)
-    pairs fired just before the routine exits.
+    pairs fired just before the routine exits.  ``rates`` overrides the
+    per-path PMC cost model for this span (the TCP receive path uses it
+    to fold the SMP cache-mismatch factor into the miss rate); ``None``
+    falls back to the :data:`repro.core.counters.PATH_RATES` table.
     """
 
-    __slots__ = ("name", "cost_ns", "children", "atomics")
+    __slots__ = ("name", "cost_ns", "children", "atomics", "rates")
 
     def __init__(self, name: str, cost_ns: int,
                  children: Optional[list["KSpan"]] = None,
-                 atomics: Optional[list[tuple[str, int]]] = None):
+                 atomics: Optional[list[tuple[str, int]]] = None,
+                 rates=None):
         self.name = name
         self.cost_ns = int(cost_ns)
         self.children = children or []
         self.atomics = atomics or []
+        self.rates = rates
 
     def total_ns(self) -> int:
         """Inclusive duration of the tree."""
@@ -137,7 +144,7 @@ class IrqController:
             before = data.pending_overhead_ns
             t = kernel.clock.cycles_at(now_ns)
             for tree in trees:
-                t = self._record(data, tree, t)
+                t = self._record(data, tree, t, target)
             overhead_ns = data.pending_overhead_ns - before
             # Interrupt-context measurement cost is paid immediately (it
             # extends the interrupt, not the task's next burst).
@@ -150,18 +157,33 @@ class IrqController:
             kernel.sched.stretch(cpu_idx, total)
         return now_ns + total
 
-    def _record(self, data, tree: KSpan, t_cycles: int) -> int:
+    def _record(self, data, tree: KSpan, t_cycles: int,
+                task: Optional["Task"] = None) -> int:
         """Record KTAU events for ``tree`` starting at ``t_cycles``.
 
         Returns the end timestamp in cycles.  Own cost is charged before
         children, so exclusive time per span equals its ``cost_ns``.
+
+        When the counters extension is built in, each span advances the
+        target task's simulated PMCs by its own cost at the span's
+        per-path rates *between* the KTAU entry and exit snapshots, so
+        per-event inclusive counter deltas land in the counter profile —
+        and since interrupt time stretches the victim's burst as
+        *stolen* time (never charged by ``_charge_time``), this is the
+        only place it reaches the counters.
         """
         kernel = self.kernel
         point = kernel.point(tree.name)
         kernel.ktau.entry(data, point, at_cycles=t_cycles)
-        t = t_cycles + kernel.clock.cycles_for_ns(tree.cost_ns)
+        cost_cycles = kernel.clock.cycles_for_ns(tree.cost_ns)
+        if task is not None and cost_cycles and kernel.params.ktau.counters:
+            task.counters.advance(
+                cost_cycles, True,
+                tree.rates if tree.rates is not None
+                else rates_for_path(tree.name))
+        t = t_cycles + cost_cycles
         for child in tree.children:
-            t = self._record(data, child, t)
+            t = self._record(data, child, t, task)
         for atomic_name, value in tree.atomics:
             kernel.ktau.atomic(data, kernel.atomic_point(atomic_name), value, at_cycles=t)
         kernel.ktau.exit(data, point, at_cycles=t)

@@ -73,6 +73,10 @@ class Kernel:
         self.swapper.is_idle = True
         if params.ktau.is_patched:
             self.swapper.ktau = self.ktau.register_task(0, "swapper")
+            if params.ktau.counters:
+                # Interrupt work on an idle CPU advances the idle task's
+                # PMCs — the same process-centric attribution as time.
+                self.swapper.ktau.counter_source = self.swapper.counters.read
 
         self._tick_costs = params.timer_tick_cost_ns
         self._tick_count = 0

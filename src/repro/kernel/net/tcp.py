@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.counters import rates_for_path, scale_miss_rate
 from repro.kernel.irq import KSpan
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -47,8 +48,16 @@ def build_rx_trees(kernel: "Kernel", sock: "StreamSocket", segments: list[int],
     net = kernel.params.net
     mismatch = irq_cpu != sock.consumer_cpu
     per_seg = rx_cost_ns(kernel, mismatch)
+    # The PMU dimension of the cache-locality model: a mismatched
+    # receive dilates processing time *and* inflates the L2 miss rate by
+    # the same factor, so counter views can tell "slow because more
+    # work" from "slow because cache-hostile".
+    rx_rates = rates_for_path("tcp_v4_rcv")
+    if mismatch:
+        rx_rates = scale_miss_rate(rx_rates, net.cache_mismatch_factor)
     rcv_spans = [
-        KSpan("tcp_v4_rcv", per_seg, atomics=[("net.pkt_rx_bytes", seg)])
+        KSpan("tcp_v4_rcv", per_seg, atomics=[("net.pkt_rx_bytes", seg)],
+              rates=rx_rates)
         for seg in segments
     ]
     hard = KSpan("do_IRQ", net.irq_cost_ns, children=[KSpan("eth_interrupt", 1_000)])
@@ -67,6 +76,7 @@ def record_tx_spans(kernel: "Kernel", task: "Task", segments: list[int]) -> int:
     """
     data = task.ktau
     net = kernel.params.net
+    counters_on = kernel.params.ktau.counters
     total = 0
     t = kernel.clock.read()
     for seg in segments:
@@ -75,12 +85,31 @@ def record_tx_spans(kernel: "Kernel", task: "Task", segments: list[int]) -> int:
         if data is None:
             continue
         offsets = [(name, int(cost * frac)) for name, frac in TX_SPLIT]
+
+        # Advance each leg's PMCs after its entry snapshot so the
+        # inclusive counter deltas nest exactly like the time spans; the
+        # cost itself is folded into the caller's upcoming kernel burst,
+        # so mark the cycles as already advanced (pmc_ahead_cycles).
+        def _advance(leg_name: str, leg_ns: int) -> None:
+            leg_cycles = kernel.clock.cycles_for_ns(leg_ns)
+            if leg_cycles:
+                task.counters.advance(leg_cycles, True,
+                                      rates_for_path(leg_name))
+                task.pmc_ahead_cycles += leg_cycles
+
         # tcp_sendmsg { ip_queue_xmit { dev_queue_xmit } }
         kernel.ktau.entry(data, kernel.point("tcp_sendmsg"), at_cycles=t)
+        if counters_on:
+            _advance("tcp_sendmsg", offsets[0][1])
         t_inner = t + kernel.clock.cycles_for_ns(offsets[0][1])
         kernel.ktau.entry(data, kernel.point("ip_queue_xmit"), at_cycles=t_inner)
+        if counters_on:
+            _advance("ip_queue_xmit", offsets[1][1])
         t_inner2 = t_inner + kernel.clock.cycles_for_ns(offsets[1][1])
         kernel.ktau.entry(data, kernel.point("dev_queue_xmit"), at_cycles=t_inner2)
+        if counters_on:
+            _advance("dev_queue_xmit",
+                     cost - offsets[0][1] - offsets[1][1])
         t_end = t + kernel.clock.cycles_for_ns(cost)
         kernel.ktau.atomic(data, kernel.atomic_point("net.pkt_tx_bytes"), seg,
                            at_cycles=t_end)

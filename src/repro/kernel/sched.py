@@ -31,6 +31,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Optional
 
+from repro.core.counters import rates_for_path
 from repro.kernel.effects import Block, Compute, Exit, KCompute, Migrate, Syscall
 from repro.kernel.task import Task, TaskState
 
@@ -538,8 +539,18 @@ class Scheduler:
             task.stime_ns += ns
         else:
             task.utime_ns += ns
-        # advance the simulated PMCs at mode-specific rates
-        task.counters.advance(self.kernel.clock.cycles_for_ns(ns), kernel_mode)
+        # Advance the simulated PMCs at mode-specific rates, skipping
+        # cycles already advanced out-of-band (TX spans, fault paths)
+        # whose time is folded into this burst.
+        cycles = self.kernel.clock.cycles_for_ns(ns)
+        ahead = task.pmc_ahead_cycles
+        if ahead:
+            skip = cycles if ahead >= cycles else ahead
+            task.pmc_ahead_cycles = ahead - skip
+            cycles -= skip
+        if cycles:
+            rates = None if kernel_mode else task.pmc_user_rates
+            task.counters.advance(cycles, kernel_mode, rates)
 
     def _block(self, cpu: Cpu, task: Task, effect: Block) -> None:
         now = self.kernel.engine.now
@@ -575,6 +586,16 @@ class Scheduler:
         t1 = t0 + kernel.clock.cycles_for_ns(params.minor_fault_cost_ns)
         point = kernel.point("do_page_fault")
         kernel.ktau.entry(task.ktau, point, at_cycles=t0)
+        if params.ktau.counters:
+            # Advance the fault's cycles between the entry/exit PMC
+            # snapshots so the counter delta lands on do_page_fault; the
+            # cost itself is folded into the upcoming user burst, so
+            # mark those cycles as already advanced.
+            fault_cycles = t1 - t0
+            task.counters.fault(major=False)
+            task.counters.advance(fault_cycles, True,
+                                  rates_for_path("do_page_fault"))
+            task.pmc_ahead_cycles += fault_cycles
         kernel.ktau.exit(task.ktau, point, at_cycles=t1)
         task.pending_burst_ns += params.minor_fault_cost_ns
 

@@ -58,7 +58,8 @@ class Task:
         "last_ran_at", "last_deschedule_reason",
         "utime_ns", "stime_ns", "nvcsw", "nivcsw",
         "start_time_ns", "exit_time_ns", "exit_code", "exit_callbacks",
-        "ktau", "tau", "counters", "pending_signals", "is_idle",
+        "ktau", "tau", "counters", "pmc_user_rates", "pmc_ahead_cycles",
+        "pending_signals", "is_idle",
     )
 
     def __init__(self, pid: int, comm: str, kernel: "Kernel",
@@ -105,6 +106,14 @@ class Task:
         self.ktau: Optional["KtauTaskData"] = None
         self.tau = None  # repro.tau.profiler.TauProfiler, set by launcher
         self.counters = TaskCounters()  # simulated PMCs (advance per burst)
+        # User-mode PmcRates override (how a cache-hostile workload is
+        # modelled); None = the USER_RATES default.
+        self.pmc_user_rates = None
+        # Cycles whose counters were already advanced out-of-band (TX
+        # span recording, fault paths) but whose *time* is still folded
+        # into a pending burst; _charge_time skips this many cycles so
+        # nothing is counted twice.
+        self.pmc_ahead_cycles: int = 0
 
         # signals
         self.pending_signals: list[int] = []

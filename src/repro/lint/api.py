@@ -53,6 +53,11 @@ LAYER_DEPS: dict[str, set[str]] = {
     # monitor — the streaming attributor lives in repro.monitor and
     # depends on this package's contract, not the other way around.
     "analysis.bottlenecks": {"analysis", "cluster", "core", "obs", "sim"},
+    # The offline counter views are purely derivational: they consume
+    # decoded wire dumps (core) and sibling analysis helpers, and — like
+    # the bottleneck analyzer — must never import the monitor, whose
+    # streaming counter detection depends on this package.
+    "analysis.counterview": {"analysis", "core", "obs", "sim"},
     # The online monitor consumes measurements (analysis/core) over
     # cluster machinery and publishes into obs; experiments and the CLI
     # sit above it, the cluster below it (the launcher reaches it only

@@ -40,7 +40,10 @@ SCOPE = ("repro.sim", "repro.kernel", "repro.core", "repro.parallel",
          "repro.obs", "repro.monitor", "repro.faults",
          # The bottleneck analyzer's reports are golden-pinned, so the
          # whole subpackage lives under the determinism contract.
-         "repro.analysis.bottlenecks")
+         "repro.analysis.bottlenecks",
+         # Counter views feed golden-pinned exports and the monitor's
+         # counter-outlier detection: same contract.
+         "repro.analysis.counterview")
 
 #: (penultimate, last) dotted-name components of banned wall-clock calls.
 _WALL_CLOCK = {

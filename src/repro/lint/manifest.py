@@ -61,4 +61,8 @@ SHARD_ALLOWLIST: dict[str, tuple[str, str]] = {
         "singleton",
         "instrumentation-point declaration table; built at import time "
         "and read-only afterwards (KTAU3xx audits its contents)"),
+    "repro.core.counters.PATH_RATES": (
+        "singleton",
+        "per-path PMC rate declaration table; built at import time and "
+        "read-only afterwards (rates_for_path only reads it)"),
 }

@@ -20,8 +20,10 @@ Five pieces:
   interval flags the perturbed node of Figure 2-A; a per-node activity
   floor flags interference processes (the "overhead" intruder, a noise
   daemon) by name, and stays quiet for the minuscule standard daemons
-  of Figure 7.  Findings are typed :class:`~repro.monitor.alerts.Alert`
-  records.
+  of Figure 7.  On counters builds the same MAD machinery also runs on
+  each node's interval L2 miss rate, flagging cache-hostile intruders
+  that steal too few cycles to move any time metric (§6).  Findings are
+  typed :class:`~repro.monitor.alerts.Alert` records.
 * :mod:`repro.monitor.cluster_monitor` — the
   :class:`~repro.monitor.cluster_monitor.ClusterMonitor` that wires one
   KTAUD per node (streaming callback, capped retention) to all of the
@@ -46,14 +48,18 @@ and parallel execution, which ``tests/test_determinism.py`` asserts.
 
 from __future__ import annotations
 
-from repro.monitor.alerts import (BOTTLENECK, HEALTH_KINDS, INTERFERENCE,
-                                  NODE_LOST, NODE_OUTLIER, NODE_RECOVERED,
-                                  NODE_STALE, Alert, alerts_to_doc)
+from repro.monitor.alerts import (BOTTLENECK, COUNTER_OUTLIER, HEALTH_KINDS,
+                                  INTERFERENCE, NODE_LOST, NODE_OUTLIER,
+                                  NODE_RECOVERED, NODE_STALE, Alert,
+                                  alerts_to_doc)
 from repro.monitor.bottleneck import (LOST_TIME_EVENTS,
                                       StreamingBottleneckAttributor)
-from repro.monitor.cluster_monitor import (ClusterMonitor, MonitorConfig,
+from repro.monitor.cluster_monitor import (COUNTER_IPC_METRIC,
+                                           COUNTER_MISS_METRIC,
+                                           ClusterMonitor, MonitorConfig,
                                            MonitorData, monitor_data_to_json)
-from repro.monitor.dashboard import format_node_row, render_dashboard
+from repro.monitor.dashboard import (counter_summary, format_node_row,
+                                     render_dashboard)
 from repro.monitor.detect import flag_outliers, mad
 from repro.monitor.intervals import NodeInterval
 from repro.monitor.series import RingSeries, SeriesStore
@@ -62,6 +68,9 @@ from repro.monitor.timeline import integrated_timeline
 __all__ = [
     "Alert",
     "BOTTLENECK",
+    "COUNTER_IPC_METRIC",
+    "COUNTER_MISS_METRIC",
+    "COUNTER_OUTLIER",
     "ClusterMonitor",
     "HEALTH_KINDS",
     "INTERFERENCE",
@@ -77,6 +86,7 @@ __all__ = [
     "SeriesStore",
     "StreamingBottleneckAttributor",
     "alerts_to_doc",
+    "counter_summary",
     "flag_outliers",
     "format_node_row",
     "integrated_timeline",

@@ -10,6 +10,14 @@ Two detector kinds, matching the two questions the paper's views answer:
   (Figure 2-B / Figure 7: "which process is responsible — and is it a
   real daemon or an intruder?").
 
+One counter-dimension kind (the §6 PMU extension):
+
+* ``counter_outlier`` (:data:`COUNTER_OUTLIER`) — one node's interval
+  L2 miss-rate sits far outside the cluster's median even though its
+  time rates may be unremarkable (a cache thrasher steals cache, not
+  cycles).  For these alerts ``value_s``/``baseline_s`` carry the rate
+  in misses per kilocycle, not seconds.
+
 One attribution kind from the streaming lost-time attributor
 (:mod:`repro.monitor.bottleneck`):
 
@@ -45,6 +53,12 @@ NODE_OUTLIER = "node_outlier"
 #: A non-application process with significant interval activity.
 INTERFERENCE = "interference"
 
+#: A node whose interval L2 miss-rate (misses per kilocycle executed) is
+#: a cross-node MAD outlier — the counter dimension's outlier detector,
+#: which catches cache-hostile interference that steals too few cycles
+#: to move the time-rate detectors (§6 "performance counter access").
+COUNTER_OUTLIER = "counter_outlier"
+
 #: The cluster-wide top lost-time blocker, per the streaming attributor
 #: (:mod:`repro.monitor.bottleneck`): the flagged node is both a
 #: cross-node outlier on the metric's kernel path *and* the cumulative
@@ -76,7 +90,8 @@ class Alert:
     node: str
     #: watched event name, or ``"activity"`` for interference alerts
     metric: str
-    #: the offending value, in seconds over the interval
+    #: the offending value — seconds over the interval, except counter
+    #: outliers where it is the miss rate (L2 misses per kilocycle)
     value_s: float
     #: cross-node median (outliers) or interval length (interference)
     baseline_s: float
@@ -98,6 +113,10 @@ class Alert:
                     f"'{self.metric}' lost {self.value_s * 1e3:.1f} ms this "
                     f"interval vs median {self.baseline_s * 1e3:.1f} ms "
                     f"(score {self.score:.1f}), cumulative top blocker")
+        if self.kind == COUNTER_OUTLIER:
+            return (f"[{t:9.3f}s] {self.node}: counter outlier — "
+                    f"{self.value_s:.2f} L2 misses/kcycle vs cluster median "
+                    f"{self.baseline_s:.2f} (score {self.score:.1f})")
         if self.kind == INTERFERENCE:
             return (f"[{t:9.3f}s] {self.node}: interference by "
                     f"{self.comm}({self.pid}) — {self.value_s * 1e3:.1f} ms "

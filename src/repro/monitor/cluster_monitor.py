@@ -36,12 +36,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.analysis.export import canonical_json
-from repro.analysis.views import interval_view
+from repro.analysis.views import interval_view, pmc_interval_view
 from repro.core.clients.ktaud import Ktaud, KtaudSnapshot
 from repro.core.points import SCHED_INVOLUNTARY_POINT
-from repro.monitor.alerts import (INTERFERENCE, NODE_LOST, NODE_OUTLIER,
-                                  NODE_RECOVERED, NODE_STALE, Alert,
-                                  alerts_to_doc, sort_key)
+from repro.monitor.alerts import (COUNTER_OUTLIER, INTERFERENCE, NODE_LOST,
+                                  NODE_OUTLIER, NODE_RECOVERED, NODE_STALE,
+                                  Alert, alerts_to_doc, sort_key)
 from repro.monitor.detect import flag_outliers
 from repro.monitor.intervals import NodeInterval
 from repro.monitor.series import SeriesStore
@@ -56,6 +56,13 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Synthetic metric name for whole-node non-voluntary kernel activity.
 ACTIVITY_METRIC = "activity"
+
+#: Synthetic metric name for the node-wide interval L2 miss rate
+#: (misses per kilocycle executed) — present only on counters builds.
+COUNTER_MISS_METRIC = "l2_miss_per_kcycle"
+
+#: Synthetic metric name for node-wide interval instructions per cycle.
+COUNTER_IPC_METRIC = "ipc"
 
 
 @dataclass(frozen=True)
@@ -119,6 +126,15 @@ class MonitorConfig:
     #: (:mod:`repro.monitor.bottleneck`); 0 disables the attributor,
     #: keeping historical monitored runs byte-identical.
     bottleneck_top_k: int = 0
+    #: modified z-score threshold for the counter dimension's cross-node
+    #: miss-rate outlier detector (runs only when the monitored kernels
+    #: carry the counters build option).
+    counter_mad_threshold: float = 3.5
+    #: absolute excess (L2 misses per kilocycle) over the cluster median
+    #: a node must show before a counter outlier fires.  Healthy nodes
+    #: running the same binary agree within a fraction of a miss per
+    #: kilocycle; a cache thrasher multiplies the node rate.
+    counter_min_abs: float = 0.5
 
 
 @dataclass
@@ -301,6 +317,8 @@ class ClusterMonitor:
         start_ns = prev.time_ns if prev is not None else self._start_ns[name]
         deltas = interval_view(prev.profiles if prev is not None else None,
                                snap.profiles)
+        pmc_deltas = pmc_interval_view(
+            prev.profiles if prev is not None else None, snap.profiles)
         comms = {pid: dump.comm for pid, dump in snap.profiles.items()}
         index = self._next_index[name]
         if index <= self._max_closed:
@@ -315,12 +333,21 @@ class ClusterMonitor:
         interval = NodeInterval(node=name, index=index, start_ns=start_ns,
                                 end_ns=snap.time_ns,
                                 hz=self.node_hz[name],
-                                deltas=deltas, comms=comms)
+                                deltas=deltas, comms=comms,
+                                pmc_deltas=pmc_deltas)
         for event in self.config.watch_events:
             self.series.append(name, event, snap.time_ns,
                                interval.event_excl_s(event))
         self.series.append(name, ACTIVITY_METRIC, snap.time_ns,
                            interval.activity_s())
+        if pmc_deltas:
+            # Counter series exist only on counters builds, so a
+            # counters-off monitored run serialises byte-identically to
+            # the historical format.
+            self.series.append(name, COUNTER_MISS_METRIC, snap.time_ns,
+                               interval.miss_per_kcycle())
+            self.series.append(name, COUNTER_IPC_METRIC, snap.time_ns,
+                               interval.ipc())
         if _obs.metrics_on:
             from repro.obs.metrics import REGISTRY
             REGISTRY.counter("monitor.snapshots").inc()
@@ -451,6 +478,28 @@ class ClusterMonitor:
                         metric=event,
                         value_s=values[i], baseline_s=center, score=score))
                     nalerts += 1
+        # The counter dimension: a cache-hostile intruder executes too
+        # few cycles to move the time-rate detectors above, but its L2
+        # miss rate inflates the whole node's interval rate (§6).  Only
+        # nodes whose kernels carry the counters build report PMC data.
+        counter_nodes = [node for node in comparable
+                         if bucket[node].pmc_deltas]
+        if len(counter_nodes) >= cfg.min_nodes:
+            rates = [bucket[node].miss_per_kcycle()
+                     for node in counter_nodes]
+            center = statistics.median(rates)
+            for i, score in flag_outliers(rates, cfg.counter_mad_threshold,
+                                          cfg.counter_min_abs):
+                interval = bucket[counter_nodes[i]]
+                self.alerts.append(Alert(
+                    kind=COUNTER_OUTLIER, interval=index,
+                    time_ns=interval.end_ns, node=counter_nodes[i],
+                    metric=COUNTER_MISS_METRIC,
+                    value_s=rates[i], baseline_s=center, score=score))
+                nalerts += 1
+                if _obs.metrics_on:
+                    from repro.obs.metrics import REGISTRY
+                    REGISTRY.counter("monitor.counter_alerts").inc()
         for node in nodes:
             interval = bucket[node]
             activity = interval.activity_by_pid()

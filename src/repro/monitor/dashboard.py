@@ -4,14 +4,25 @@ One sparkline row per (node, metric) over the retained time series, the
 scale shared per metric across nodes so a perturbed node visibly sticks
 out, followed by the alert log — the closest a terminal gets to the
 paper's cluster-wide "health view" of Figure 2-A.
+
+On counters builds the series include the two PMU rate metrics (IPC and
+L2 misses per kilocycle); those render with rate units instead of
+milliseconds and get a per-node summary table, so the §6 counter
+dimension is visible next to the time dimension in the same view.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.monitor.cluster_monitor import ACTIVITY_METRIC, MonitorData
+from repro.monitor.alerts import COUNTER_OUTLIER
+from repro.monitor.cluster_monitor import (ACTIVITY_METRIC,
+                                           COUNTER_IPC_METRIC,
+                                           COUNTER_MISS_METRIC, MonitorData)
 from repro.sim.units import SEC
+
+#: Metrics whose values are dimensionless rates, not interval seconds.
+RATE_METRICS = (COUNTER_IPC_METRIC, COUNTER_MISS_METRIC)
 
 #: Sparkline glyphs, lowest to highest.
 SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
@@ -51,6 +62,33 @@ def format_node_row(node: str, name_w: int, values: list[float],
     return row
 
 
+def counter_summary(data: MonitorData, name_w: int) -> list[str]:
+    """Per-node PMU rate columns for the counter dimension, or ``[]``.
+
+    Rendered only when counter series exist (i.e. the monitored kernels
+    carried the counters build option): one row per node with its mean
+    interval IPC and L2 miss rate, a ``!`` mark on nodes that drew a
+    :data:`~repro.monitor.alerts.COUNTER_OUTLIER` alert.
+    """
+    rows: list[str] = []
+    flagged_nodes = {a.node for a in data.alerts
+                     if a.kind == COUNTER_OUTLIER}
+    for node in data.nodes:
+        per_node = data.series.get(node, {})
+        ipc_pts = [v for _t, v in per_node.get(COUNTER_IPC_METRIC, [])]
+        miss_pts = [v for _t, v in per_node.get(COUNTER_MISS_METRIC, [])]
+        if not ipc_pts and not miss_pts:
+            continue
+        mark = "!" if node in flagged_nodes else " "
+        ipc = sum(ipc_pts) / len(ipc_pts) if ipc_pts else 0.0
+        miss = sum(miss_pts) / len(miss_pts) if miss_pts else 0.0
+        rows.append(f" {mark}{node:<{name_w}} | ipc {ipc:5.2f} | "
+                    f"l2/kcycle {miss:7.2f}")
+    if not rows:
+        return []
+    return ["counters (mean per interval):"] + rows
+
+
 def render_dashboard(data: MonitorData, width: int = 48) -> str:
     """Render a harvested monitored run as a terminal dashboard string."""
     lines: list[str] = []
@@ -75,7 +113,10 @@ def render_dashboard(data: MonitorData, width: int = 48) -> str:
                     for _t, value in data.series.get(node, {}).get(metric, [])),
                    default=0.0)
         lines.append("")
-        lines.append(f"{metric} (peak {peak * 1e3:.1f} ms/interval)")
+        if metric in RATE_METRICS:
+            lines.append(f"{metric} (peak {peak:.2f})")
+        else:
+            lines.append(f"{metric} (peak {peak * 1e3:.1f} ms/interval)")
         for node in data.nodes:
             values = [v for _t, v in data.series.get(node, {}).get(metric, [])]
             flagged = any(a.node == node and a.metric == metric
@@ -86,6 +127,10 @@ def render_dashboard(data: MonitorData, width: int = 48) -> str:
                       if metric == ACTIVITY_METRIC else None)
             lines.append(format_node_row(node, name_w, values, peak, width,
                                          flagged, lost_s))
+    counter_lines = counter_summary(data, name_w)
+    if counter_lines:
+        lines.append("")
+        lines.extend(counter_lines)
     if data.bottleneck:
         lines.append("")
         lines.append(f"lost-time attribution (streaming top "

@@ -32,6 +32,10 @@ class NodeInterval:
     deltas: dict[int, dict[str, tuple[int, int, int]]] = field(default_factory=dict)
     #: pid -> comm as of the closing snapshot
     comms: dict[int, str] = field(default_factory=dict)
+    #: pid -> (cycles, insn, l2, minflt, majflt) lifetime-PMC deltas for
+    #: the interval (via :func:`repro.analysis.views.pmc_interval_view`);
+    #: empty when the counters build option is off
+    pmc_deltas: dict[int, tuple[int, int, int, int, int]] = field(default_factory=dict)
 
     @property
     def wall_s(self) -> float:
@@ -67,3 +71,28 @@ class NodeInterval:
     def activity_s(self) -> float:
         """Whole-node activity (sum of :meth:`activity_by_pid`)."""
         return sum(self.activity_by_pid().values())
+
+    # -- the PMU dimension (empty/zero unless counters are built in) ----
+    def pmc_totals(self) -> tuple[int, int, int, int, int]:
+        """Node-wide PMC deltas this interval, summed over every process."""
+        total = [0, 0, 0, 0, 0]
+        for delta in self.pmc_deltas.values():
+            for i, v in enumerate(delta):
+                total[i] += v
+        return tuple(total)
+
+    def miss_per_kcycle(self) -> float:
+        """Node-wide L2 misses per kilocycle executed this interval.
+
+        A *rate over executed cycles*, not over wall time: a mostly-idle
+        node with one cache-hostile process still shows an elevated miss
+        rate, which is exactly the signal per-interval time profiles
+        miss.
+        """
+        cycles, _insn, l2, _minflt, _majflt = self.pmc_totals()
+        return l2 * 1000.0 / cycles if cycles else 0.0
+
+    def ipc(self) -> float:
+        """Node-wide instructions per executed cycle this interval."""
+        cycles, insn, _l2, _minflt, _majflt = self.pmc_totals()
+        return insn / cycles if cycles else 0.0

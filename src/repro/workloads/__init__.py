@@ -11,12 +11,15 @@
   (null-syscall latency, context-switch latency, TCP bandwidth).
 * :mod:`repro.workloads.interference` — the paper's artificial "overhead"
   process (sleep 10 s, busy-loop 3 s) used in §5.1 to plant a detectable
-  performance anomaly.
+  performance anomaly, plus the §6 cache thrasher (minimal CPU, hostile
+  locality) detectable only through the counter dimension.
 """
 
 from repro.workloads.lu import LuParams, lu_app, proc_grid
 from repro.workloads.sweep3d import Sweep3dParams, sweep3d_app
-from repro.workloads.interference import overhead_process
+from repro.workloads.interference import (cache_thrasher_process,
+                                          overhead_process)
 
 __all__ = ["LuParams", "lu_app", "proc_grid",
-           "Sweep3dParams", "sweep3d_app", "overhead_process"]
+           "Sweep3dParams", "sweep3d_app", "cache_thrasher_process",
+           "overhead_process"]

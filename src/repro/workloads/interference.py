@@ -23,3 +23,29 @@ def overhead_process(sleep_ns: int = 10 * SEC, busy_ns: int = 3 * SEC,
             done += 1
 
     return behavior
+
+
+def cache_thrasher_process(sleep_ns: int = 600 * (SEC // 1000),
+                           busy_ns: int = 4 * (SEC // 1000),
+                           repeats: int | None = None):
+    """A cache-hostile intruder: barely any CPU, terrible locality.
+
+    The §6 counterpart of :func:`overhead_process`: it wakes rarely and
+    computes only briefly, so its cycle theft stays under every
+    time-rate detection threshold — but each short burst walks a
+    footprint far larger than the cache.  The *hostility* itself is not
+    expressed here (this layer knows nothing about the PMC cost model);
+    the experiment that spawns the process assigns it cache-thrashing
+    user-mode counter rates (``task.pmc_user_rates``), and only the
+    counter dimension of the monitor can then tell it apart from an
+    idle daemon.
+    """
+
+    def behavior(ctx):
+        done = 0
+        while repeats is None or done < repeats:
+            yield from ctx.sleep(sleep_ns)
+            yield from ctx.compute(busy_ns)
+            done += 1
+
+    return behavior

@@ -111,9 +111,13 @@ class TestPerformanceCounters:
         dump = lib.read_profiles(Scope.OTHER, pids=[task.pid],
                                  include_zombies=True)[task.pid]
         assert dump.counters, "no counter data recorded"
-        count, insn, l2 = dump.counters["sys_nanosleep"]
+        count, cycles, insn, l2, minflt, majflt = dump.counters["sys_nanosleep"]
         assert count == 1
         assert insn > 0
+        assert cycles >= insn  # kernel IPC < 1
+        assert minflt == 0 and majflt == 0
+        assert dump.pmc is not None
+        assert dump.pmc[0] > 0  # lifetime executed cycles
 
     def test_counters_off_by_default(self):
         engine, kernel = make_kernel()
@@ -153,6 +157,7 @@ class TestPerformanceCounters:
         dumps = lib.read_profiles(include_zombies=True)
         back = lib.from_ascii(lib.to_ascii(dumps))
         assert back[task.pid].counters == dumps[task.pid].counters
+        assert back[task.pid].pmc == dumps[task.pid].pmc
 
 
 class TestCallgraph:

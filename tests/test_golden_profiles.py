@@ -44,3 +44,23 @@ def test_fig2_profiles_byte_identical_to_golden():
     res = run_fig2ab(seed=1)
     payload = profiles_to_json(res.data)
     assert hashlib.sha256(payload.encode()).hexdigest() == _GOLD["fig2_sha256"]
+
+
+def test_lu_counters_profiles_byte_identical_to_golden():
+    """The same LU run with the §6 counters build option on: the PMC
+    sections extend the export deterministically, so the counters-on
+    output is golden-pinned too (captured when the counter model
+    landed)."""
+    from repro.core.config import KtauBuildConfig
+
+    params = LuParams(niters=3, iter_compute_ns=8 * MSEC, halo_bytes=8192,
+                      sweep_msg_bytes=2048, inorm=2)
+    cluster = make_chiba(nnodes=4, seed=1,
+                         ktau=KtauBuildConfig.full(counters=True))
+    job = launch_mpi_job(cluster, 8, lu_app(params),
+                         placement=block_placement(2, 8))
+    job.run(limit_s=600)
+    payload = profiles_to_json(harvest_job(job))
+    cluster.teardown()
+    assert hashlib.sha256(payload.encode()).hexdigest() \
+        == _GOLD["lu_counters_sha256"]

@@ -70,11 +70,14 @@ class TestDeterminismRules:
         # lines in repro.obs.runtime), the online monitor (whose
         # harvests are byte-compared across serial/parallel runs), and
         # the fault layer (same plan + seed must replay bit-for-bit),
-        # and the bottleneck analyzer (its reports are golden-pinned).
+        # and the bottleneck analyzer (its reports are golden-pinned),
+        # and the counter views (counters-on runs are golden-pinned
+        # and byte-compared serial vs parallel).
         from repro.lint.determinism import SCOPE
         assert SCOPE == ("repro.sim", "repro.kernel", "repro.core",
                          "repro.parallel", "repro.obs", "repro.monitor",
-                         "repro.faults", "repro.analysis.bottlenecks")
+                         "repro.faults", "repro.analysis.bottlenecks",
+                         "repro.analysis.counterview")
 
     def test_wall_clock_in_copied_sim_module(self, tmp_path):
         # A file that *is* part of repro.sim (by path) gets the rule...

@@ -45,7 +45,7 @@ PUBLIC_MODULES = [
     "repro.analysis.tracemerge", "repro.analysis.tracestats",
     "repro.analysis.callgraph", "repro.analysis.compensate",
     "repro.analysis.export", "repro.analysis.render",
-    "repro.analysis.related_work",
+    "repro.analysis.related_work", "repro.analysis.counterview",
     "repro.analysis.bottlenecks", "repro.analysis.bottlenecks.waits",
     "repro.analysis.bottlenecks.harvest", "repro.analysis.bottlenecks.report",
     "repro.analysis.bottlenecks.render",
@@ -56,7 +56,7 @@ PUBLIC_MODULES = [
     "repro.experiments.fig9_10", "repro.experiments.table2",
     "repro.experiments.table3", "repro.experiments.table4",
     "repro.experiments.ionode", "repro.experiments.chaos",
-    "repro.experiments.bottleneck",
+    "repro.experiments.bottleneck", "repro.experiments.counters_demo",
     "repro.cli",
 ]
 
